@@ -1,0 +1,245 @@
+//! Statistics utilities used across the figure reproductions: empirical
+//! CDFs, quantiles, moments, and Pearson correlation.
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Stores the sorted samples; evaluation and quantiles are exact with
+/// respect to the sample set.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. Non-finite samples are rejected.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN or infinite.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "CDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples less than or equal to `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        mean(&self.sorted)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty CDF")
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty CDF")
+    }
+
+    /// `(x, F(x))` pairs for plotting — one point per sample, as in the
+    /// paper's staircase CDF figures.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation coefficient between paired samples.
+///
+/// Returns 0 when either variable is constant (correlation undefined).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_fraction_and_quantiles() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.median(), 2.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.min(), 1.0);
+        assert_eq!(cdf.max(), 4.0);
+    }
+
+    #[test]
+    fn cdf_points_form_staircase() {
+        let cdf = Cdf::new(vec![10.0, 20.0]);
+        assert_eq!(cdf.points(), vec![(10.0, 0.5), (20.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_median_odd_count() {
+        let cdf = Cdf::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(cdf.median(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn cdf_rejects_nan() {
+        Cdf::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_of_linear_data_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson_correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson_correlation(&xs, &ys), 0.0);
+    }
+
+    proptest! {
+        /// Quantile is monotone in q and brackets the sample range.
+        #[test]
+        fn prop_quantile_monotone(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..200),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let cdf = Cdf::new(samples);
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+            prop_assert!(cdf.quantile(0.0) >= cdf.min());
+            prop_assert!(cdf.quantile(1.0) <= cdf.max());
+        }
+
+        /// fraction_at_or_below is a valid CDF: monotone, in [0, 1].
+        #[test]
+        fn prop_fraction_monotone(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..200),
+            x1 in -1e6f64..1e6,
+            x2 in -1e6f64..1e6,
+        ) {
+            let cdf = Cdf::new(samples);
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            let f_lo = cdf.fraction_at_or_below(lo);
+            let f_hi = cdf.fraction_at_or_below(hi);
+            prop_assert!((0.0..=1.0).contains(&f_lo));
+            prop_assert!(f_lo <= f_hi);
+        }
+
+        /// Correlation is symmetric and bounded.
+        #[test]
+        fn prop_correlation_bounded(
+            pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson_correlation(&xs, &ys);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson_correlation(&ys, &xs);
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The streaming-session engine.
+//!
+//! [`Engine`] owns the simulated world of one streaming session: the network
+//! path, any number of TCP connections between the client machine and the
+//! streaming server, a packet-capture tap at the client (the simulated
+//! tcpdump), and the future-event list. Strategy behaviour is supplied by a
+//! [`SessionLogic`] implementation, which the engine calls back when
+//! connections establish, data arrives, streams end, or application timers
+//! fire.
+//!
+//! Like the paper's measurements, a session runs until a configured capture
+//! deadline (the authors captured 180 s per video) or until the logic calls
+//! [`Engine::stop`].
+
+use vstream_capture::{TapDirection, Trace};
+use vstream_net::{Direction, DuplexPath};
+use vstream_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use vstream_tcp::{Endpoint, EndpointStats, Role, Segment, TcpConfig};
+
+/// Which endpoint of a connection pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Client,
+    Server,
+}
+
+enum Event {
+    DeliverToClient { conn: usize, seg: Segment },
+    DeliverToServer { conn: usize, seg: Segment },
+    TcpTick { conn: usize, side: Side },
+    AppTimer { id: u32 },
+    CrossBurst,
+}
+
+/// Competing traffic sharing the downlink bottleneck: bursts with
+/// exponentially distributed sizes and inter-arrival times. Models the
+/// transient congestion the paper's §3 says the buffering phase guards
+/// against, for the accumulation-ratio resilience experiments.
+#[derive(Clone, Debug)]
+pub struct CrossTraffic {
+    /// Mean interval between bursts.
+    pub mean_period: SimDuration,
+    /// Mean burst size in bytes.
+    pub mean_burst_bytes: u64,
+}
+
+impl CrossTraffic {
+    /// Average offered load in bits per second.
+    pub fn mean_load_bps(&self) -> f64 {
+        self.mean_burst_bytes as f64 * 8.0 / self.mean_period.as_secs_f64()
+    }
+}
+
+struct Conn {
+    client: Endpoint,
+    server: Endpoint,
+    tick_scheduled: [Option<SimTime>; 2],
+    established_notified: bool,
+    eof_notified: bool,
+}
+
+/// Strategy callbacks. All methods default to doing nothing, so a logic
+/// implements only what it needs.
+pub trait SessionLogic {
+    /// The session begins: open connections, arm timers.
+    fn on_start(&mut self, eng: &mut Engine);
+    /// Both sides of `conn` completed the handshake.
+    fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+        let _ = (eng, conn);
+    }
+    /// The client has unread data on `conn`.
+    fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+        let _ = (eng, conn);
+    }
+    /// The server's FIN arrived in order on `conn` and all data was read.
+    fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
+        let _ = (eng, conn);
+    }
+    /// An application timer armed with [`Engine::schedule_app_timer`] fired.
+    fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+        let _ = (eng, id);
+    }
+}
+
+/// The simulated world of one streaming session.
+pub struct Engine {
+    queue: EventQueue<Event>,
+    path: DuplexPath,
+    rng: SimRng,
+    trace: Trace,
+    conns: Vec<Conn>,
+    limit: SimTime,
+    stopped: bool,
+    cross_traffic: Option<CrossTraffic>,
+}
+
+impl Engine {
+    /// Creates an engine over `path` that captures until `capture_limit`.
+    pub fn new(path: DuplexPath, seed: u64, capture_limit: SimDuration) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            path,
+            rng: SimRng::new(seed),
+            trace: Trace::new(),
+            conns: Vec::new(),
+            limit: SimTime::ZERO + capture_limit,
+            stopped: false,
+            cross_traffic: None,
+        }
+    }
+
+    /// Adds competing cross traffic on the downlink for the whole session.
+    ///
+    /// # Panics
+    /// Panics if called after [`Engine::run`] has started processing events.
+    pub fn set_cross_traffic(&mut self, ct: CrossTraffic) {
+        assert!(
+            self.now() == SimTime::ZERO,
+            "cross traffic must be configured before the session runs"
+        );
+        self.cross_traffic = Some(ct);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The randomness source (for strategies that add jitter).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Stops the session at the current instant (user closed the player).
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// The capture recorded so far (final after [`Engine::run`] returns).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the engine, returning the capture.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Number of connections opened so far.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// `(client, server)` endpoint statistics of a connection.
+    pub fn connection_stats(&self, conn: usize) -> (EndpointStats, EndpointStats) {
+        (self.conns[conn].client.stats(), self.conns[conn].server.stats())
+    }
+
+    /// One-line transmission-state summaries of a connection's endpoints,
+    /// for diagnostics: `(client, server)`.
+    pub fn connection_debug(&self, conn: usize) -> (String, String) {
+        (
+            self.conns[conn].client.debug_state(),
+            self.conns[conn].server.debug_state(),
+        )
+    }
+
+    /// The round-trip propagation delay of the underlying path.
+    pub fn base_rtt(&self) -> SimDuration {
+        self.path.base_rtt()
+    }
+
+    // ------------------------------------------------------------------
+    // Logic-facing operations
+    // ------------------------------------------------------------------
+
+    /// Opens a new client-server connection pair; the SYN goes out
+    /// immediately. Returns the connection index.
+    pub fn open_connection(&mut self, client_cfg: TcpConfig, server_cfg: TcpConfig) -> usize {
+        let idx = self.conns.len();
+        let id = idx as u32;
+        let mut client = Endpoint::new(Role::Client, id, client_cfg);
+        let server = Endpoint::new(Role::Server, id, server_cfg);
+        let syn = client.connect(self.now());
+        self.conns.push(Conn {
+            client,
+            server,
+            tick_scheduled: [None, None],
+            established_notified: false,
+            eof_notified: false,
+        });
+        self.transmit_from_client(idx, syn);
+        self.sync_ticks(idx);
+        idx
+    }
+
+    /// Server-side application write: queue `bytes` of video content.
+    pub fn server_write(&mut self, conn: usize, bytes: u64) {
+        let now = self.now();
+        let segs = self.conns[conn].server.write(now, bytes);
+        self.transmit_from_server(conn, segs);
+        self.sync_ticks(conn);
+    }
+
+    /// Server-side close: FIN after all queued data.
+    pub fn server_close(&mut self, conn: usize) {
+        let now = self.now();
+        let segs = self.conns[conn].server.close(now);
+        self.transmit_from_server(conn, segs);
+        self.sync_ticks(conn);
+    }
+
+    /// Client-side application read of up to `max` bytes. Window updates
+    /// triggered by the read are transmitted.
+    pub fn client_read(&mut self, conn: usize, max: u64) -> u64 {
+        let now = self.now();
+        let (n, segs) = self.conns[conn].client.read(now, max);
+        self.transmit_from_client(conn, segs);
+        self.sync_ticks(conn);
+        n
+    }
+
+    /// Bytes the client could read right now on `conn`.
+    pub fn available(&self, conn: usize) -> u64 {
+        self.conns[conn].client.available_to_read()
+    }
+
+    /// True once the server's whole stream (and FIN) has been read.
+    pub fn client_at_eof(&self, conn: usize) -> bool {
+        self.conns[conn].client.at_eof()
+    }
+
+    /// True when everything the server wrote has been acknowledged.
+    pub fn server_all_acked(&self, conn: usize) -> bool {
+        self.conns[conn].server.all_acked()
+    }
+
+    /// True once the connection is established end to end.
+    pub fn is_established(&self, conn: usize) -> bool {
+        self.conns[conn].client.is_established() && self.conns[conn].server.is_established()
+    }
+
+    /// Arms an application timer that fires `delay` from now with `id`.
+    pub fn schedule_app_timer(&mut self, delay: SimDuration, id: u32) {
+        let at = self.now() + delay;
+        self.queue.schedule(at, Event::AppTimer { id });
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    /// Runs the session to completion: until the capture limit, an empty
+    /// event queue, or [`Engine::stop`].
+    pub fn run<L: SessionLogic>(&mut self, logic: &mut L) {
+        if self.cross_traffic.is_some() {
+            self.schedule_cross_burst();
+        }
+        logic.on_start(self);
+        // Safety valve: a streaming session is bounded by (capture seconds)
+        // x (packet rate); 50M events is far beyond any legitimate run.
+        for _ in 0..50_000_000u64 {
+            if self.stopped {
+                return;
+            }
+            let Some((t, ev)) = (match self.queue.peek_time() {
+                Some(t) if t <= self.limit => self.queue.pop(),
+                _ => None,
+            }) else {
+                return;
+            };
+            match ev {
+                Event::DeliverToClient { conn, seg } => {
+                    self.trace.push(t, TapDirection::Incoming, seg);
+                    let out = self.conns[conn].client.on_segment(t, seg);
+                    self.transmit_from_client(conn, out);
+                    self.after_touch(conn, logic);
+                }
+                Event::DeliverToServer { conn, seg } => {
+                    let out = self.conns[conn].server.on_segment(t, seg);
+                    self.transmit_from_server(conn, out);
+                    self.after_touch(conn, logic);
+                }
+                Event::TcpTick { conn, side } => {
+                    let slot = match side {
+                        Side::Client => 0,
+                        Side::Server => 1,
+                    };
+                    self.conns[conn].tick_scheduled[slot] = None;
+                    match side {
+                        Side::Client => {
+                            let out = self.conns[conn].client.on_timer(t);
+                            self.transmit_from_client(conn, out);
+                        }
+                        Side::Server => {
+                            let out = self.conns[conn].server.on_timer(t);
+                            self.transmit_from_server(conn, out);
+                        }
+                    }
+                    self.after_touch(conn, logic);
+                }
+                Event::AppTimer { id } => {
+                    logic.on_app_timer(self, id);
+                }
+                Event::CrossBurst => {
+                    let now = self.now();
+                    if let Some(ct) = &self.cross_traffic {
+                        let bytes = self.rng.exponential(1.0 / ct.mean_burst_bytes as f64) as u64;
+                        self.path.occupy(Direction::Down, now, bytes.max(1));
+                    }
+                    self.schedule_cross_burst();
+                }
+            }
+        }
+        panic!("session event-count safety valve tripped: runaway event loop");
+    }
+
+    fn after_touch<L: SessionLogic>(&mut self, conn: usize, logic: &mut L) {
+        self.sync_ticks(conn);
+        if !self.conns[conn].established_notified && self.is_established(conn) {
+            self.conns[conn].established_notified = true;
+            logic.on_established(self, conn);
+        }
+        if self.conns[conn].client.available_to_read() > 0 {
+            logic.on_data_available(self, conn);
+        }
+        if !self.conns[conn].eof_notified && self.conns[conn].client.at_eof() {
+            self.conns[conn].eof_notified = true;
+            logic.on_eof(self, conn);
+        }
+    }
+
+    /// Transmits client-origin segments: the tap records them (tcpdump sees
+    /// every outgoing packet), then they traverse the uplink.
+    fn transmit_from_client(&mut self, conn: usize, segs: Vec<Segment>) {
+        let now = self.now();
+        for seg in segs {
+            self.trace.push(now, TapDirection::Outgoing, seg);
+            if let Some(at) = self
+                .path
+                .send(Direction::Up, now, &seg, &mut self.rng)
+                .delivery_time()
+            {
+                self.queue.schedule(at, Event::DeliverToServer { conn, seg });
+            }
+        }
+    }
+
+    /// Transmits server-origin segments; the tap records them on *arrival*
+    /// (a dropped packet never reaches the client's tcpdump).
+    fn transmit_from_server(&mut self, conn: usize, segs: Vec<Segment>) {
+        let now = self.now();
+        for seg in segs {
+            if let Some(at) = self
+                .path
+                .send(Direction::Down, now, &seg, &mut self.rng)
+                .delivery_time()
+            {
+                self.queue.schedule(at, Event::DeliverToClient { conn, seg });
+            }
+        }
+    }
+
+    fn schedule_cross_burst(&mut self) {
+        let Some(ct) = &self.cross_traffic else { return };
+        let gap = self.rng.exponential(1.0 / ct.mean_period.as_secs_f64());
+        let at = self.now() + vstream_sim::SimDuration::from_secs_f64(gap);
+        self.queue.schedule(at, Event::CrossBurst);
+    }
+
+    /// Ensures a TCP tick event is queued for each armed endpoint timer.
+    fn sync_ticks(&mut self, conn: usize) {
+        let now = self.now();
+        for (slot, side) in [(0, Side::Client), (1, Side::Server)] {
+            let deadline = match side {
+                Side::Client => self.conns[conn].client.next_timer(),
+                Side::Server => self.conns[conn].server.next_timer(),
+            };
+            if let Some(d) = deadline {
+                let at = d.max(now);
+                let stored = self.conns[conn].tick_scheduled[slot];
+                if stored.is_none_or(|s| at < s) {
+                    self.queue.schedule(at, Event::TcpTick { conn, side });
+                    self.conns[conn].tick_scheduled[slot] = Some(at);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_net::NetworkProfile;
+
+    /// A bulk-download logic used to exercise the engine itself.
+    struct BulkLogic {
+        size: u64,
+        read_total: u64,
+        finished_at: Option<SimTime>,
+    }
+
+    impl SessionLogic for BulkLogic {
+        fn on_start(&mut self, eng: &mut Engine) {
+            let cfg = TcpConfig::default().with_recv_buffer(4 << 20);
+            eng.open_connection(cfg.clone(), cfg);
+        }
+        fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+            eng.server_write(conn, self.size);
+            eng.server_close(conn);
+        }
+        fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+            self.read_total += eng.client_read(conn, u64::MAX);
+        }
+        fn on_eof(&mut self, eng: &mut Engine, _conn: usize) {
+            self.finished_at = Some(eng.now());
+            eng.stop();
+        }
+    }
+
+    #[test]
+    fn bulk_session_downloads_everything() {
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            7,
+            SimDuration::from_secs(180),
+        );
+        let mut logic = BulkLogic {
+            size: 3_000_000,
+            read_total: 0,
+            finished_at: None,
+        };
+        eng.run(&mut logic);
+        assert_eq!(logic.read_total, 3_000_000);
+        assert!(logic.finished_at.is_some());
+        assert_eq!(eng.trace().total_downloaded(), 3_000_000);
+    }
+
+    #[test]
+    fn capture_limit_truncates_session() {
+        // 100 MB over ~100 Mbps takes >8 s; a 1 s capture must stop early.
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            7,
+            SimDuration::from_secs(1),
+        );
+        let mut logic = BulkLogic {
+            size: 100_000_000,
+            read_total: 0,
+            finished_at: None,
+        };
+        eng.run(&mut logic);
+        assert!(logic.finished_at.is_none());
+        assert!(eng.now() <= SimTime::from_secs(1));
+        assert!(logic.read_total < 100_000_000);
+        assert!(logic.read_total > 0);
+    }
+
+    #[test]
+    fn app_timers_fire_in_order() {
+        struct TimerLogic {
+            fired: Vec<u32>,
+        }
+        impl SessionLogic for TimerLogic {
+            fn on_start(&mut self, eng: &mut Engine) {
+                eng.schedule_app_timer(SimDuration::from_secs(2), 2);
+                eng.schedule_app_timer(SimDuration::from_secs(1), 1);
+                eng.schedule_app_timer(SimDuration::from_secs(3), 3);
+            }
+            fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+                self.fired.push(id);
+                if id == 3 {
+                    eng.stop();
+                }
+            }
+        }
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            1,
+            SimDuration::from_secs(60),
+        );
+        let mut logic = TimerLogic { fired: Vec::new() };
+        eng.run(&mut logic);
+        assert_eq!(logic.fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multiple_connections_are_independent() {
+        struct TwoConnLogic {
+            read: [u64; 2],
+        }
+        impl SessionLogic for TwoConnLogic {
+            fn on_start(&mut self, eng: &mut Engine) {
+                let cfg = TcpConfig::default().with_recv_buffer(1 << 20);
+                eng.open_connection(cfg.clone(), cfg.clone());
+                eng.open_connection(cfg.clone(), cfg);
+            }
+            fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+                eng.server_write(conn, (conn as u64 + 1) * 100_000);
+                eng.server_close(conn);
+            }
+            fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+                self.read[conn] += eng.client_read(conn, u64::MAX);
+            }
+        }
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            5,
+            SimDuration::from_secs(30),
+        );
+        let mut logic = TwoConnLogic { read: [0, 0] };
+        eng.run(&mut logic);
+        assert_eq!(logic.read, [100_000, 200_000]);
+        assert_eq!(eng.trace().connections(), vec![0, 1]);
+        assert_eq!(eng.connection_count(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut eng = Engine::new(
+                NetworkProfile::Residence.build_path(),
+                seed,
+                SimDuration::from_secs(30),
+            );
+            let mut logic = BulkLogic {
+                size: 2_000_000,
+                read_total: 0,
+                finished_at: None,
+            };
+            eng.run(&mut logic);
+            (logic.finished_at, eng.trace().len(), eng.connection_stats(0))
+        };
+        assert_eq!(run(42), run(42));
+        // The Residence path has 1% loss, so a different seed almost surely
+        // yields a different packet count.
+        assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn cross_traffic_slows_the_transfer() {
+        let run = |ct: Option<CrossTraffic>| {
+            let mut eng = Engine::new(
+                NetworkProfile::Home.build_path(), // 20 Mbps downlink
+                7,
+                SimDuration::from_secs(120),
+            );
+            if let Some(ct) = ct {
+                eng.set_cross_traffic(ct);
+            }
+            let mut logic = BulkLogic {
+                size: 20_000_000,
+                read_total: 0,
+                finished_at: None,
+            };
+            eng.run(&mut logic);
+            logic.finished_at.expect("transfer completes")
+        };
+        let clean = run(None);
+        // ~10 Mbps of competing traffic halves the available bandwidth.
+        let congested = run(Some(CrossTraffic {
+            mean_period: SimDuration::from_millis(10),
+            mean_burst_bytes: 12_500,
+        }));
+        assert!(
+            congested > clean + SimDuration::from_secs(3),
+            "cross traffic had no effect: clean {clean}, congested {congested}"
+        );
+    }
+
+    #[test]
+    fn trace_records_both_directions() {
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            7,
+            SimDuration::from_secs(30),
+        );
+        let mut logic = BulkLogic {
+            size: 500_000,
+            read_total: 0,
+            finished_at: None,
+        };
+        eng.run(&mut logic);
+        let incoming = eng.trace().records().iter().filter(|r| r.dir == TapDirection::Incoming).count();
+        let outgoing = eng.trace().records().iter().filter(|r| r.dir == TapDirection::Outgoing).count();
+        assert!(incoming > 0);
+        assert!(outgoing > 0, "tap must record ACKs too");
+    }
+}

@@ -1,0 +1,299 @@
+//! The video player model.
+//!
+//! A player consumes the downloaded byte stream at the video's encoding
+//! rate. Playback starts once a startup threshold is buffered and stalls
+//! when the buffer empties (resuming at the same threshold). The model is
+//! evaluated lazily: [`Player::advance`] moves the internal clock, so the
+//! session loop only touches the player when something happens.
+//!
+//! The player supplies the quantities behind the paper's discussion of
+//! §5.3/§6: receive-side buffer occupancy (Table 2), stall behaviour under
+//! accumulation ratios below one, and unused bytes when the user interrupts
+//! playback.
+
+use vstream_sim::{SimDuration, SimTime};
+
+/// Playback state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PlayState {
+    /// Waiting for the startup threshold.
+    Initial,
+    /// Consuming at the encoding rate.
+    Playing,
+    /// Buffer ran dry; waiting for the threshold again.
+    Stalled,
+    /// Reached the end of the video.
+    Finished,
+}
+
+/// Statistics accumulated by a player over a session.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlayerStats {
+    /// Time from session start to first frame.
+    pub startup_delay: Option<SimDuration>,
+    /// Number of mid-playback stalls.
+    pub stalls: u32,
+    /// Total time spent stalled (excluding initial buffering).
+    pub stall_time: SimDuration,
+    /// Peak buffer occupancy in bytes.
+    pub peak_buffer_bytes: u64,
+}
+
+/// A video player with a byte buffer and threshold-based start/rebuffer
+/// logic.
+#[derive(Clone, Debug)]
+pub struct Player {
+    encoding_bps: u64,
+    /// Bytes that must be buffered before (re)starting playback.
+    startup_bytes: u64,
+    /// Total bytes of the video (playback stops here).
+    video_bytes: u64,
+
+    /// Bytes fed by the application.
+    fed: u64,
+    /// Bytes consumed by playback.
+    consumed: u64,
+    state: PlayState,
+    /// Internal clock of the last evaluation.
+    clock: SimTime,
+    /// When the current stall (or initial wait) began.
+    waiting_since: SimTime,
+    started_at: Option<SimTime>,
+    stats: PlayerStats,
+}
+
+impl Player {
+    /// Creates an idle player.
+    ///
+    /// # Panics
+    /// Panics if the encoding rate is zero or the startup threshold exceeds
+    /// the video size (it could never start).
+    pub fn new(encoding_bps: u64, startup_bytes: u64, video_bytes: u64) -> Self {
+        assert!(encoding_bps > 0, "encoding rate must be positive");
+        assert!(
+            startup_bytes <= video_bytes.max(1),
+            "startup threshold larger than the video"
+        );
+        Player {
+            encoding_bps,
+            startup_bytes: startup_bytes.max(1),
+            video_bytes,
+            fed: 0,
+            consumed: 0,
+            state: PlayState::Initial,
+            clock: SimTime::ZERO,
+            waiting_since: SimTime::ZERO,
+            started_at: None,
+            stats: PlayerStats::default(),
+        }
+    }
+
+    /// Feeds downloaded bytes into the playback buffer at time `now`.
+    pub fn feed(&mut self, now: SimTime, bytes: u64) {
+        self.advance(now);
+        self.fed = (self.fed + bytes).min(self.video_bytes);
+        self.stats.peak_buffer_bytes = self.stats.peak_buffer_bytes.max(self.buffer_bytes());
+        self.maybe_start(now);
+    }
+
+    /// Advances playback to time `now`, consuming buffered bytes.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.clock, "player clock went backwards");
+        if self.state == PlayState::Playing {
+            let elapsed = now.duration_since(self.clock);
+            let want = (self.encoding_bps as u128 * elapsed.as_nanos() as u128 / 8 / 1_000_000_000) as u64;
+            let available = self.fed - self.consumed;
+            if want < available {
+                self.consumed += want;
+            } else {
+                // Buffer ran dry part-way through the interval.
+                self.consumed = self.fed;
+                if self.consumed >= self.video_bytes {
+                    self.state = PlayState::Finished;
+                } else {
+                    self.state = PlayState::Stalled;
+                    // The stall began when the buffer actually emptied.
+                    let drain_time = SimDuration::from_secs_f64(
+                        available as f64 * 8.0 / self.encoding_bps as f64,
+                    );
+                    self.waiting_since = self.clock + drain_time;
+                    self.stats.stalls += 1;
+                }
+            }
+        }
+        self.clock = now;
+        self.maybe_start(now);
+    }
+
+    fn maybe_start(&mut self, now: SimTime) {
+        let threshold_met = self.buffer_bytes() >= self.startup_bytes
+            || self.fed >= self.video_bytes && self.buffer_bytes() > 0;
+        match self.state {
+            PlayState::Initial if threshold_met => {
+                self.state = PlayState::Playing;
+                self.started_at = Some(now);
+                self.stats.startup_delay = Some(now.saturating_duration_since(SimTime::ZERO));
+            }
+            PlayState::Stalled if threshold_met => {
+                self.state = PlayState::Playing;
+                self.stats.stall_time += now.saturating_duration_since(self.waiting_since);
+            }
+            _ => {}
+        }
+    }
+
+    /// Bytes currently buffered (fed but not yet consumed).
+    pub fn buffer_bytes(&self) -> u64 {
+        self.fed - self.consumed
+    }
+
+    /// Bytes of video consumed by playback so far.
+    pub fn consumed_bytes(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Bytes fed so far.
+    pub fn fed_bytes(&self) -> u64 {
+        self.fed
+    }
+
+    /// True while actively playing.
+    pub fn is_playing(&self) -> bool {
+        self.state == PlayState::Playing
+    }
+
+    /// True once the video has been fully played.
+    pub fn is_finished(&self) -> bool {
+        self.state == PlayState::Finished
+    }
+
+    /// True if playback has ever started.
+    pub fn has_started(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// Buffered playback headroom at `now`, in seconds of video.
+    pub fn buffer_seconds(&self) -> f64 {
+        self.buffer_bytes() as f64 * 8.0 / self.encoding_bps as f64
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PlayerStats {
+        self.stats
+    }
+
+    /// Unused bytes if the viewer walked away at the player's current
+    /// clock: downloaded but never watched (the §6.2 waste metric).
+    pub fn unused_bytes(&self) -> u64 {
+        self.fed - self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// 1 Mbps video: 125 kB per second of playback.
+    fn player() -> Player {
+        Player::new(1_000_000, 500_000, 12_500_000)
+    }
+
+    #[test]
+    fn playback_waits_for_threshold() {
+        let mut p = player();
+        p.feed(t(1.0), 499_999);
+        assert!(!p.is_playing());
+        p.feed(t(1.1), 1);
+        assert!(p.is_playing());
+        assert_eq!(p.stats().startup_delay, Some(SimDuration::from_millis(1100)));
+    }
+
+    #[test]
+    fn consumes_at_encoding_rate() {
+        let mut p = player();
+        p.feed(t(0.0), 1_000_000);
+        assert!(p.is_playing());
+        p.advance(t(4.0));
+        // 4 s at 125 kB/s = 500 kB consumed.
+        assert_eq!(p.consumed_bytes(), 500_000);
+        assert_eq!(p.buffer_bytes(), 500_000);
+        assert!((p.buffer_seconds() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalls_when_buffer_empties() {
+        let mut p = player();
+        p.feed(t(0.0), 500_000); // exactly the threshold = 4 s of video
+        p.advance(t(10.0));
+        assert!(!p.is_playing());
+        assert_eq!(p.consumed_bytes(), 500_000);
+        assert_eq!(p.stats().stalls, 1);
+        // Refill at t=12; the stall ran from t=4 (buffer empty) to t=12.
+        p.feed(t(12.0), 500_000);
+        assert!(p.is_playing());
+        assert_eq!(p.stats().stall_time, SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn finishes_at_video_end() {
+        let mut p = Player::new(1_000_000, 100_000, 1_250_000); // 10 s video
+        p.feed(t(0.0), 1_250_000);
+        p.advance(t(10.0));
+        assert!(p.is_finished());
+        assert_eq!(p.consumed_bytes(), 1_250_000);
+        p.advance(t(20.0));
+        assert_eq!(p.consumed_bytes(), 1_250_000, "no consumption after the end");
+    }
+
+    #[test]
+    fn tail_starts_even_below_threshold_when_download_complete() {
+        // A short video smaller than the threshold must still play once
+        // fully downloaded.
+        let mut p = Player::new(1_000_000, 400_000, 400_000);
+        p.feed(t(0.0), 400_000);
+        assert!(p.is_playing());
+    }
+
+    #[test]
+    fn feed_clamps_at_video_size() {
+        let mut p = Player::new(1_000_000, 100_000, 1_000_000);
+        p.feed(t(0.0), 5_000_000);
+        assert_eq!(p.fed_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn peak_buffer_is_tracked() {
+        let mut p = player();
+        p.feed(t(0.0), 2_000_000);
+        p.advance(t(8.0));
+        p.feed(t(8.0), 100_000);
+        assert_eq!(p.stats().peak_buffer_bytes, 2_000_000);
+    }
+
+    #[test]
+    fn unused_bytes_equals_buffer() {
+        let mut p = player();
+        p.feed(t(0.0), 2_000_000);
+        p.advance(t(4.0));
+        // 500 kB consumed; 1.5 MB downloaded-but-unwatched.
+        assert_eq!(p.unused_bytes(), 1_500_000);
+    }
+
+    #[test]
+    fn incremental_advance_matches_single_advance() {
+        let mut a = player();
+        let mut b = player();
+        a.feed(t(0.0), 3_000_000);
+        b.feed(t(0.0), 3_000_000);
+        for i in 1..=100 {
+            a.advance(t(i as f64 * 0.1));
+        }
+        b.advance(t(10.0));
+        assert_eq!(a.consumed_bytes(), b.consumed_bytes());
+        assert_eq!(a.buffer_bytes(), b.buffer_bytes());
+    }
+}

@@ -1,0 +1,45 @@
+//! The streaming-strategy implementations (one per behaviour the paper
+//! observed) plus the user-interruption wrapper.
+
+mod bulk;
+mod client_pull;
+mod interrupt;
+mod netflix;
+mod range_request;
+mod server_paced;
+
+pub use bulk::BulkLogic;
+pub use client_pull::{ClientPullConfig, ClientPullLogic};
+pub use interrupt::InterruptAfter;
+pub use netflix::{NetflixConfig, NetflixLogic, NetflixMode};
+pub use range_request::{RangeRequestConfig, RangeRequestLogic};
+pub use server_paced::{ServerPacedConfig, ServerPacedLogic};
+
+use vstream_sim::SimDuration;
+
+use crate::video::Video;
+
+/// Default player startup threshold: two seconds of content (clamped to the
+/// video size). All strategies share it; it only affects player statistics,
+/// not the traffic shape.
+pub fn startup_threshold(video: &Video) -> u64 {
+    video.playback_bytes(2.0).min(video.size_bytes()).max(1)
+}
+
+/// Common default for server-side TCP: a large enough receive buffer that
+/// the client's request direction never stalls, and a congestion window
+/// capped at a 2011-era server send buffer (~1 MB). The cap matters for
+/// fidelity: without it, every multi-megabyte client-pull burst overshoots
+/// the bottleneck queue by megabytes, loses its tail against a closed
+/// receive window, and collapses cwnd by RTO — destroying the persistent
+/// congestion window whose absence of reset Fig. 9 demonstrates.
+pub fn server_tcp() -> vstream_tcp::TcpConfig {
+    let mut cfg = vstream_tcp::TcpConfig::default().with_recv_buffer(256 * 1024);
+    cfg.max_cwnd = 1 << 20;
+    cfg
+}
+
+/// Seconds needed to play `bytes` at the video's encoding rate.
+pub fn playback_time(video: &Video, bytes: u64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 * 8.0 / video.encoding_bps as f64)
+}

@@ -1,0 +1,460 @@
+//! Netflix streaming (§5.2).
+//!
+//! Netflix (Silverlight on PCs, native applications on mobile devices)
+//! differs from YouTube in three measured ways:
+//!
+//! 1. **Multi-bitrate prefetch.** When a session starts, fragments of *all*
+//!    available encoding rates are downloaded (Akhshabi et al., cited in
+//!    §5.2.1), which is why PC buffering amounts are ≈50 MB while the iPad —
+//!    hypothesised to use a subset of rates — shows ≈10 MB.
+//! 2. **Many TCP connections.** PCs and iPads fetch each steady-state block
+//!    on a fresh connection; a fresh connection starts in slow start, which
+//!    restores the ack clock the long-lived YouTube connections lack
+//!    (§5.2.2).
+//! 3. **Android pulls a single connection** with multi-megabyte blocks —
+//!    long ON-OFF cycles (Fig. 10b) and an ≈40 MB buffering phase.
+
+use vstream_sim::SimDuration;
+use vstream_tcp::TcpConfig;
+
+use crate::engine::{Engine, SessionLogic};
+use crate::player::Player;
+use crate::strategies::server_tcp;
+use crate::video::Video;
+
+/// Which Netflix client is simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetflixMode {
+    /// Silverlight in any browser: short cycles, fresh connection per block.
+    Pc,
+    /// Native iPad application: like PC but with a subset of encoding rates.
+    Ipad,
+    /// Native Android application: single connection, long cycles.
+    Android,
+}
+
+/// Parameters of a Netflix session.
+#[derive(Clone, Debug)]
+pub struct NetflixConfig {
+    /// Client device.
+    pub mode: NetflixMode,
+    /// Encoding rates available for this title, bits per second. Fragments
+    /// of every rate are prefetched during buffering.
+    pub available_rates: Vec<u64>,
+    /// The rate selected for playback (Netflix picks it from the available
+    /// bandwidth; the workload crate decides).
+    pub selected_rate: u64,
+    /// Seconds of each non-selected rate prefetched during buffering.
+    pub probe_fragment_secs: f64,
+    /// Seconds of the selected rate buffered before steady state.
+    pub buffer_playback_secs: f64,
+    /// Seconds of playback per steady-state block.
+    pub block_playback_secs: f64,
+    /// Connections used in parallel for the selected-rate buffering burst.
+    /// Netflix stripes the buffering phase across several connections,
+    /// which keeps its aggregate throughput high on lossy paths (one
+    /// loss-limited Reno flow would crawl).
+    pub buffering_connections: u32,
+}
+
+impl NetflixConfig {
+    /// The PC (Silverlight) behaviour: five rates, deep buffer.
+    pub fn pc() -> Self {
+        NetflixConfig {
+            mode: NetflixMode::Pc,
+            available_rates: vec![500_000, 1_000_000, 1_600_000, 2_200_000, 3_000_000],
+            selected_rate: 3_000_000,
+            probe_fragment_secs: 10.0,
+            buffer_playback_secs: 110.0,
+            block_playback_secs: 4.0,
+            buffering_connections: 6,
+        }
+    }
+
+    /// The native iPad application: subset of rates, shallower buffer.
+    pub fn ipad() -> Self {
+        NetflixConfig {
+            mode: NetflixMode::Ipad,
+            available_rates: vec![500_000, 1_000_000, 1_600_000],
+            selected_rate: 1_600_000,
+            probe_fragment_secs: 10.0,
+            buffer_playback_secs: 40.0,
+            block_playback_secs: 4.0,
+            buffering_connections: 4,
+        }
+    }
+
+    /// The native Android application: single connection, long cycles.
+    pub fn android() -> Self {
+        NetflixConfig {
+            mode: NetflixMode::Android,
+            available_rates: vec![500_000, 1_000_000, 1_600_000],
+            selected_rate: 1_600_000,
+            probe_fragment_secs: 10.0,
+            buffer_playback_secs: 160.0,
+            block_playback_secs: 20.0,
+            buffering_connections: 1,
+        }
+    }
+
+    /// Bytes of non-selected-rate fragments prefetched during buffering.
+    pub fn probe_bytes(&self) -> u64 {
+        self.available_rates
+            .iter()
+            .filter(|&&r| r != self.selected_rate)
+            .map(|&r| (r as f64 * self.probe_fragment_secs / 8.0) as u64)
+            .sum()
+    }
+
+    /// Bytes of the selected rate buffered before steady state.
+    pub fn buffer_bytes(&self) -> u64 {
+        (self.selected_rate as f64 * self.buffer_playback_secs / 8.0) as u64
+    }
+
+    /// Steady-state block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        (self.selected_rate as f64 * self.block_playback_secs / 8.0) as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnKind {
+    /// Prefetch fragment of a non-selected rate (bytes are overhead).
+    Probe,
+    /// Selected-rate content.
+    Content,
+}
+
+/// Session logic for Netflix streaming.
+pub struct NetflixLogic {
+    cfg: NetflixConfig,
+    video: Video,
+    /// The playback model, fed by selected-rate bytes only.
+    pub player: Player,
+    /// Per-connection bookkeeping: what each open connection carries.
+    conns: Vec<(ConnKind, u64)>,
+    /// Selected-rate bytes requested so far.
+    content_offset: u64,
+    /// The single Android connection, once opened.
+    android_conn: Option<usize>,
+    /// Selected-rate content bytes read.
+    content_read: u64,
+    /// Total bytes read (content + probes).
+    pub read_total: u64,
+    /// Probe (non-selected-rate) bytes read — pure overhead.
+    pub probe_read: u64,
+    pull_armed: bool,
+}
+
+const PULL_TIMER: u32 = 1;
+
+impl NetflixLogic {
+    /// Creates the logic for one title. The `video` duration applies to the
+    /// selected rate; its `encoding_bps` is overridden by the selected rate.
+    pub fn new(cfg: NetflixConfig, duration: SimDuration) -> Self {
+        let video = Video::new(0, cfg.selected_rate, duration);
+        let startup = video.playback_bytes(4.0).min(video.size_bytes()).max(1);
+        let player = Player::new(cfg.selected_rate, startup, video.size_bytes());
+        NetflixLogic {
+            cfg,
+            video,
+            player,
+            conns: Vec::new(),
+            content_offset: 0,
+            android_conn: None,
+            content_read: 0,
+            read_total: 0,
+            probe_read: 0,
+            pull_armed: false,
+        }
+    }
+
+    /// The (selected-rate) video being streamed.
+    pub fn video(&self) -> Video {
+        self.video
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &NetflixConfig {
+        &self.cfg
+    }
+
+    fn client_tcp(&self) -> TcpConfig {
+        match self.cfg.mode {
+            // PC/iPad read greedily per connection; the connection carries
+            // exactly one block, so the buffer just needs headroom.
+            NetflixMode::Pc | NetflixMode::Ipad => TcpConfig::default().with_recv_buffer(2 << 20),
+            // Android paces by draining blocks from a single socket, so the
+            // receive buffer is the block granularity.
+            NetflixMode::Android => {
+                TcpConfig::default().with_recv_buffer(self.cfg.block_bytes().max(64 * 1024))
+            }
+        }
+    }
+
+    fn open_transfer(&mut self, eng: &mut Engine, kind: ConnKind, bytes: u64) -> usize {
+        let conn = eng.open_connection(self.client_tcp(), server_tcp());
+        debug_assert_eq!(conn, self.conns.len());
+        self.conns.push((kind, bytes));
+        conn
+    }
+
+    fn request_next_block(&mut self, eng: &mut Engine) {
+        let remaining = self.video.size_bytes().saturating_sub(self.content_offset);
+        if remaining == 0 {
+            return;
+        }
+        let chunk = self.cfg.block_bytes().min(remaining);
+        self.content_offset += chunk;
+        self.open_transfer(eng, ConnKind::Content, chunk);
+    }
+
+    /// True while selected-rate content remains to fetch (PC/iPad: to
+    /// request; Android: to drain from the single connection).
+    fn content_remaining(&self) -> bool {
+        match self.cfg.mode {
+            NetflixMode::Pc | NetflixMode::Ipad => self.content_offset < self.video.size_bytes(),
+            NetflixMode::Android => self.content_read < self.video.size_bytes(),
+        }
+    }
+
+    /// Arms the pull timer for when the player has room for the next block.
+    fn arm_pull(&mut self, eng: &mut Engine) {
+        if self.pull_armed || !self.content_remaining() {
+            return;
+        }
+        self.player.advance(eng.now());
+        let room = self
+            .cfg
+            .buffer_bytes()
+            .saturating_sub(self.player.buffer_bytes());
+        let needed = self.cfg.block_bytes().saturating_sub(room);
+        let delay = SimDuration::from_secs_f64(needed as f64 * 8.0 / self.cfg.selected_rate as f64)
+            .max(SimDuration::from_millis(5));
+        eng.schedule_app_timer(delay, PULL_TIMER);
+        self.pull_armed = true;
+    }
+}
+
+impl SessionLogic for NetflixLogic {
+    fn on_start(&mut self, eng: &mut Engine) {
+        // Prefetch fragments of every non-selected rate, in parallel.
+        let probes: Vec<u64> = self
+            .cfg
+            .available_rates
+            .iter()
+            .filter(|&&r| r != self.cfg.selected_rate)
+            .map(|&r| (r as f64 * self.cfg.probe_fragment_secs / 8.0) as u64)
+            .collect();
+        for bytes in probes {
+            self.open_transfer(eng, ConnKind::Probe, bytes);
+        }
+        // The buffering phase of the selected rate.
+        match self.cfg.mode {
+            NetflixMode::Pc | NetflixMode::Ipad => {
+                // Stripe the buffering burst over several connections.
+                let burst = self.cfg.buffer_bytes().min(self.video.size_bytes());
+                self.content_offset = burst;
+                let stripes = self.cfg.buffering_connections.max(1) as u64;
+                let per = burst / stripes;
+                let mut assigned = 0;
+                for i in 0..stripes {
+                    let bytes = if i + 1 == stripes { burst - assigned } else { per };
+                    assigned += bytes;
+                    if bytes > 0 {
+                        self.open_transfer(eng, ConnKind::Content, bytes);
+                    }
+                }
+            }
+            NetflixMode::Android => {
+                // Single long-lived connection; the server sends everything
+                // and the client paces by draining blocks.
+                let conn = self.open_transfer(eng, ConnKind::Content, self.video.size_bytes());
+                self.android_conn = Some(conn);
+                self.content_offset = self.video.size_bytes();
+            }
+        }
+    }
+
+    fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+        let (_, bytes) = self.conns[conn];
+        eng.server_write(conn, bytes);
+        eng.server_close(conn);
+    }
+
+    fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+        let (kind, _) = self.conns[conn];
+        match (self.cfg.mode, kind) {
+            (_, ConnKind::Probe) => {
+                self.probe_read += eng.client_read(conn, u64::MAX);
+            }
+            (NetflixMode::Pc | NetflixMode::Ipad, ConnKind::Content) => {
+                let n = eng.client_read(conn, u64::MAX);
+                self.content_read += n;
+                self.read_total += n;
+                self.player.feed(eng.now(), n);
+            }
+            (NetflixMode::Android, ConnKind::Content) => {
+                // Greedy only during the buffering phase; once the pull
+                // timer paces the session, arrivals wait in the socket.
+                if self.player.buffer_bytes() < self.cfg.buffer_bytes() && !self.pull_armed {
+                    let n = eng.client_read(conn, u64::MAX);
+                    self.content_read += n;
+                    self.read_total += n;
+                    self.player.feed(eng.now(), n);
+                    if self.player.buffer_bytes() >= self.cfg.buffer_bytes() {
+                        self.arm_pull(eng);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
+        let (kind, _) = self.conns[conn];
+        if kind == ConnKind::Content && matches!(self.cfg.mode, NetflixMode::Pc | NetflixMode::Ipad) {
+            // The block finished; schedule the next when the player has room.
+            self.arm_pull(eng);
+        }
+    }
+
+    fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+        debug_assert_eq!(id, PULL_TIMER);
+        self.pull_armed = false;
+        self.player.advance(eng.now());
+        let room = self
+            .cfg
+            .buffer_bytes()
+            .saturating_sub(self.player.buffer_bytes());
+        match self.cfg.mode {
+            NetflixMode::Pc | NetflixMode::Ipad => {
+                if room >= self.cfg.block_bytes() {
+                    self.request_next_block(eng);
+                } else {
+                    self.arm_pull(eng);
+                }
+            }
+            NetflixMode::Android => {
+                let conn = self.android_conn.expect("android connection open");
+                if room >= self.cfg.block_bytes() {
+                    let n = eng.client_read(conn, self.cfg.block_bytes());
+                    self.content_read += n;
+                    self.read_total += n;
+                    self.player.feed(eng.now(), n);
+                }
+                self.arm_pull(eng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_analysis::{classify, AnalysisConfig, OnOffAnalysis, SessionPhases, Strategy};
+    use vstream_net::NetworkProfile;
+
+    fn run(cfg: NetflixConfig, secs: u64) -> (Engine, NetflixLogic) {
+        let mut eng = Engine::new(
+            NetworkProfile::Academic.build_path(),
+            29,
+            SimDuration::from_secs(secs),
+        );
+        // A 40-minute title: never completes within the capture.
+        let mut logic = NetflixLogic::new(cfg, SimDuration::from_secs(2400));
+        eng.run(&mut logic);
+        (eng, logic)
+    }
+
+    #[test]
+    fn pc_buffering_is_about_50mb() {
+        let (eng, _) = run(NetflixConfig::pc(), 180);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        let mb = phases.buffering_bytes as f64 / 1e6;
+        assert!((40.0..=60.0).contains(&mb), "PC buffering = {mb:.1} MB");
+    }
+
+    #[test]
+    fn ipad_buffering_is_about_10mb() {
+        let (eng, _) = run(NetflixConfig::ipad(), 180);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        let mb = phases.buffering_bytes as f64 / 1e6;
+        assert!((7.0..=16.0).contains(&mb), "iPad buffering = {mb:.1} MB");
+    }
+
+    #[test]
+    fn android_buffering_is_about_40mb() {
+        let (eng, _) = run(NetflixConfig::android(), 180);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        let mb = phases.buffering_bytes as f64 / 1e6;
+        assert!((30.0..=50.0).contains(&mb), "Android buffering = {mb:.1} MB");
+    }
+
+    #[test]
+    fn pc_is_short_cycles_android_is_long() {
+        let (eng_pc, _) = run(NetflixConfig::pc(), 180);
+        assert_eq!(
+            classify(eng_pc.trace(), &AnalysisConfig::default()),
+            Strategy::ShortCycles
+        );
+        let (eng_android, _) = run(NetflixConfig::android(), 180);
+        assert_eq!(
+            classify(eng_android.trace(), &AnalysisConfig::default()),
+            Strategy::LongCycles
+        );
+    }
+
+    #[test]
+    fn pc_blocks_are_below_2p5mb_but_bigger_than_youtube() {
+        let (eng, logic) = run(NetflixConfig::pc(), 180);
+        assert_eq!(logic.config().block_bytes(), 1_500_000);
+        let analysis = OnOffAnalysis::from_trace(eng.trace(), &AnalysisConfig::default());
+        let blocks = analysis.steady_state_block_sizes();
+        assert!(!blocks.is_empty());
+        let cdf = vstream_analysis::Cdf::new(blocks.iter().map(|&b| b as f64).collect());
+        let median = cdf.median();
+        assert!(
+            (1_000_000.0..2_500_000.0).contains(&median),
+            "median Netflix PC block = {median}"
+        );
+    }
+
+    #[test]
+    fn pc_uses_many_connections() {
+        let (eng, _) = run(NetflixConfig::pc(), 180);
+        // 4 probes + buffering + one per steady-state block.
+        assert!(
+            eng.connection_count() > 10,
+            "connections = {}",
+            eng.connection_count()
+        );
+    }
+
+    #[test]
+    fn android_uses_few_connections() {
+        let (eng, _) = run(NetflixConfig::android(), 180);
+        // 2 probes + 1 content connection.
+        assert!(
+            eng.connection_count() <= 3,
+            "connections = {}",
+            eng.connection_count()
+        );
+    }
+
+    #[test]
+    fn probe_bytes_are_downloaded_but_not_played() {
+        let (_, logic) = run(NetflixConfig::pc(), 180);
+        assert!(logic.probe_read > 0);
+        let expected = NetflixConfig::pc().probe_bytes();
+        assert_eq!(logic.probe_read, expected);
+        // Probe bytes never reach the player.
+        assert!(logic.player.fed_bytes() <= logic.read_total);
+    }
+
+    #[test]
+    fn player_sustains_playback() {
+        let (_, logic) = run(NetflixConfig::pc(), 180);
+        assert!(logic.player.has_started());
+        assert_eq!(logic.player.stats().stalls, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Range-request streaming: the iPad behaviour of §5.1.3 (Fig. 7).
+//!
+//! The native iOS YouTube player fetches the video as a sequence of HTTP
+//! range requests, each on a *fresh TCP connection* (the paper saw 37
+//! connections in the first 60 s of one session). The range size grows with
+//! the encoding rate (Fig. 7b), so low-rate videos show short ON-OFF cycles
+//! while high-rate videos show periodic re-buffering with multi-megabyte
+//! transfers — the "combination of ON-OFF strategies".
+
+use vstream_sim::SimDuration;
+use vstream_tcp::TcpConfig;
+
+use crate::engine::{Engine, SessionLogic};
+use crate::player::Player;
+use crate::strategies::{server_tcp, startup_threshold};
+use crate::video::Video;
+
+/// Parameters of the range-request strategy.
+#[derive(Clone, Debug)]
+pub struct RangeRequestConfig {
+    /// Player buffer target in bytes; a new range is requested whenever the
+    /// buffer has room for a full chunk below this.
+    pub target_bytes: u64,
+    /// Seconds of playback per range request; the chunk size is this times
+    /// the encoding rate — reproducing Fig. 7(b)'s block-size growth.
+    pub chunk_playback_secs: f64,
+    /// Lower bound on the chunk size (the paper's smallest observed
+    /// transfer is 64 kB).
+    pub min_chunk_bytes: u64,
+    /// Every `deep_refill_every`-th request re-buffers deeply: one large
+    /// range instead of a single chunk. This is the "periodic buffering"
+    /// of Fig. 7(a)'s Video1 and the reason individual iPad connections
+    /// carried anywhere from 64 kB to 8 MB — and it is what makes high-rate
+    /// iPad sessions a *combination* of strategies in Table 1.
+    pub deep_refill_every: u32,
+    /// Deep refills request this many chunks in one range, so the deep
+    /// range grows with the encoding rate like everything else on the iPad.
+    pub deep_refill_chunks: u64,
+}
+
+impl Default for RangeRequestConfig {
+    fn default() -> Self {
+        RangeRequestConfig {
+            target_bytes: 6 << 20,
+            chunk_playback_secs: 4.0,
+            min_chunk_bytes: 64 * 1024,
+            deep_refill_every: 5,
+            deep_refill_chunks: 4,
+        }
+    }
+}
+
+/// Session logic for range-request streaming.
+pub struct RangeRequestLogic {
+    cfg: RangeRequestConfig,
+    video: Video,
+    /// The playback model (public so experiments can read its statistics).
+    pub player: Player,
+    /// Next byte offset to request.
+    offset: u64,
+    /// Bytes expected on the currently open connection, if any.
+    inflight: Option<(usize, u64)>,
+    /// Total unique bytes the client has read.
+    pub read_total: u64,
+    retry_armed: bool,
+    /// Ranges requested so far (drives the deep-refill schedule).
+    requests_made: u32,
+}
+
+const RETRY_TIMER: u32 = 1;
+
+impl RangeRequestLogic {
+    /// Creates the logic for one video.
+    pub fn new(cfg: RangeRequestConfig, video: Video) -> Self {
+        let player = Player::new(video.encoding_bps, startup_threshold(&video), video.size_bytes());
+        RangeRequestLogic {
+            cfg,
+            video,
+            player,
+            offset: 0,
+            inflight: None,
+            read_total: 0,
+            retry_armed: false,
+            requests_made: 0,
+        }
+    }
+
+    /// The video being streamed.
+    pub fn video(&self) -> Video {
+        self.video
+    }
+
+    /// The chunk size for this video's encoding rate.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.video
+            .playback_bytes(self.cfg.chunk_playback_secs)
+            .max(self.cfg.min_chunk_bytes)
+    }
+
+    fn room(&self) -> u64 {
+        self.cfg.target_bytes.saturating_sub(self.player.buffer_bytes())
+    }
+
+    /// Size of the next range request, honouring the deep-refill schedule.
+    fn next_request_bytes(&self) -> u64 {
+        let base = self.chunk_bytes();
+        let every = self.cfg.deep_refill_every.max(1);
+        if self.requests_made % every == every - 1 {
+            base * self.cfg.deep_refill_chunks.max(1)
+        } else {
+            base
+        }
+    }
+
+    fn maybe_request_next(&mut self, eng: &mut Engine) {
+        if self.inflight.is_some() || self.offset >= self.video.size_bytes() {
+            return;
+        }
+        self.player.advance(eng.now());
+        let chunk = self
+            .next_request_bytes()
+            .min(self.video.size_bytes() - self.offset);
+        if self.room() >= chunk {
+            // One fresh connection per range request.
+            let client_cfg = TcpConfig::default().with_recv_buffer(1 << 20);
+            let conn = eng.open_connection(client_cfg, server_tcp());
+            self.inflight = Some((conn, chunk));
+            self.requests_made += 1;
+        } else if !self.retry_armed {
+            // Wait until playback frees enough room.
+            let needed = chunk - self.room();
+            let delay =
+                SimDuration::from_secs_f64(needed as f64 * 8.0 / self.video.encoding_bps as f64)
+                    .max(SimDuration::from_millis(10));
+            eng.schedule_app_timer(delay, RETRY_TIMER);
+            self.retry_armed = true;
+        }
+    }
+}
+
+impl SessionLogic for RangeRequestLogic {
+    fn on_start(&mut self, eng: &mut Engine) {
+        self.maybe_request_next(eng);
+    }
+
+    fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+        if let Some((active, chunk)) = self.inflight {
+            if conn == active {
+                eng.server_write(conn, chunk);
+                eng.server_close(conn);
+            }
+        }
+    }
+
+    fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+        let n = eng.client_read(conn, u64::MAX);
+        self.read_total += n;
+        self.player.feed(eng.now(), n);
+    }
+
+    fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
+        if let Some((active, chunk)) = self.inflight {
+            if conn == active {
+                self.offset += chunk;
+                self.inflight = None;
+                self.maybe_request_next(eng);
+            }
+        }
+    }
+
+    fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+        debug_assert_eq!(id, RETRY_TIMER);
+        self.retry_armed = false;
+        self.maybe_request_next(eng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_analysis::{AnalysisConfig, OnOffAnalysis};
+    use vstream_net::NetworkProfile;
+
+    fn run(video: Video, secs: u64) -> (Engine, RangeRequestLogic) {
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            23,
+            SimDuration::from_secs(secs),
+        );
+        let mut logic = RangeRequestLogic::new(RangeRequestConfig::default(), video);
+        eng.run(&mut logic);
+        (eng, logic)
+    }
+
+    #[test]
+    fn uses_many_connections() {
+        // Paper: 37 connections in the first 60 s of one session.
+        let video = Video::new(1, 2_500_000, SimDuration::from_secs(900));
+        let (eng, _) = run(video, 60);
+        assert!(
+            eng.connection_count() >= 8,
+            "only {} connections",
+            eng.connection_count()
+        );
+    }
+
+    #[test]
+    fn chunk_size_grows_with_encoding_rate() {
+        let slow = RangeRequestLogic::new(
+            RangeRequestConfig::default(),
+            Video::new(1, 100_000, SimDuration::from_secs(600)),
+        );
+        let mid = RangeRequestLogic::new(
+            RangeRequestConfig::default(),
+            Video::new(2, 1_000_000, SimDuration::from_secs(600)),
+        );
+        let fast = RangeRequestLogic::new(
+            RangeRequestConfig::default(),
+            Video::new(3, 3_000_000, SimDuration::from_secs(600)),
+        );
+        assert_eq!(slow.chunk_bytes(), 64 * 1024, "floor applies at low rates");
+        assert_eq!(mid.chunk_bytes(), 500_000);
+        assert_eq!(fast.chunk_bytes(), 1_500_000);
+    }
+
+    #[test]
+    fn periodic_buffering_pattern() {
+        let video = Video::new(1, 2_000_000, SimDuration::from_secs(900));
+        let (eng, _) = run(video, 120);
+        let analysis = OnOffAnalysis::from_trace(eng.trace(), &AnalysisConfig::default());
+        assert!(analysis.has_off_periods(), "expected ON-OFF structure");
+        assert!(analysis.cycles.len() >= 3);
+    }
+
+    #[test]
+    fn downloads_are_sequential_and_complete() {
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(60));
+        let (eng, logic) = run(video, 180);
+        assert_eq!(logic.read_total, video.size_bytes());
+        // Every connection carried data.
+        for conn in 0..eng.connection_count() {
+            let (_, server) = eng.connection_stats(conn);
+            assert!(server.data_bytes_sent > 0);
+        }
+    }
+
+    #[test]
+    fn respects_player_buffer_target() {
+        let video = Video::new(1, 2_000_000, SimDuration::from_secs(900));
+        let (_, logic) = run(video, 120);
+        // The buffer never wildly exceeds the target (one chunk of slack).
+        let peak = logic.player.stats().peak_buffer_bytes;
+        let bound = (6 << 20) + logic.chunk_bytes();
+        assert!(peak <= bound, "peak {peak} > bound {bound}");
+    }
+}

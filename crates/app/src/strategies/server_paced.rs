@@ -1,0 +1,213 @@
+//! Server-paced streaming: the YouTube-over-Flash behaviour (§5.1.1).
+//!
+//! The server pushes a startup burst worth a fixed amount of *playback time*
+//! (the paper measures ≈40 s, with a 0.85 correlation between buffering
+//! amount and encoding rate), then writes one block (64 kB) per period,
+//! where the period is chosen so the average steady-state rate is
+//! `accumulation × encoding_rate` (the paper measures k ≈ 1.25). The client
+//! reads greedily — the pacing is entirely server-side, which is why the
+//! receive window never empties in Fig. 2(b)'s Flash curve.
+
+use vstream_sim::SimDuration;
+use vstream_tcp::TcpConfig;
+
+use crate::engine::{Engine, SessionLogic};
+use crate::player::Player;
+use crate::strategies::{playback_time, server_tcp, startup_threshold};
+use crate::video::Video;
+
+/// Parameters of the server-paced strategy.
+#[derive(Clone, Debug)]
+pub struct ServerPacedConfig {
+    /// Playback seconds pushed during the buffering phase (YouTube: 40 s).
+    pub buffer_playback_secs: f64,
+    /// Steady-state block size in bytes (YouTube Flash: 64 kB).
+    pub block_bytes: u64,
+    /// Target accumulation ratio (YouTube Flash: 1.25).
+    pub accumulation: f64,
+    /// Client receive buffer. Large: the client is not the throttle.
+    pub client_recv_buffer: u64,
+}
+
+impl Default for ServerPacedConfig {
+    fn default() -> Self {
+        ServerPacedConfig {
+            buffer_playback_secs: 40.0,
+            block_bytes: 64 * 1024,
+            accumulation: 1.25,
+            client_recv_buffer: 4 << 20,
+        }
+    }
+}
+
+/// Session logic for server-paced streaming.
+pub struct ServerPacedLogic {
+    cfg: ServerPacedConfig,
+    video: Video,
+    /// The playback model (public so experiments can read its statistics).
+    pub player: Player,
+    conn: usize,
+    /// Bytes queued to TCP so far.
+    sent: u64,
+    /// Total unique bytes the client has read.
+    pub read_total: u64,
+}
+
+const BLOCK_TIMER: u32 = 1;
+
+impl ServerPacedLogic {
+    /// Creates the logic for one video.
+    pub fn new(cfg: ServerPacedConfig, video: Video) -> Self {
+        let player = Player::new(video.encoding_bps, startup_threshold(&video), video.size_bytes());
+        ServerPacedLogic {
+            cfg,
+            video,
+            player,
+            conn: 0,
+            sent: 0,
+            read_total: 0,
+        }
+    }
+
+    /// The video being streamed.
+    pub fn video(&self) -> Video {
+        self.video
+    }
+
+    fn block_interval(&self) -> SimDuration {
+        // block / (k * e)  seconds per block.
+        SimDuration::from_secs_f64(
+            self.cfg.block_bytes as f64 * 8.0 / (self.cfg.accumulation * self.video.encoding_bps as f64),
+        )
+    }
+
+    fn write_next(&mut self, eng: &mut Engine, bytes: u64) {
+        let remaining = self.video.size_bytes() - self.sent;
+        let n = bytes.min(remaining);
+        if n > 0 {
+            eng.server_write(self.conn, n);
+            self.sent += n;
+        }
+        if self.sent >= self.video.size_bytes() {
+            eng.server_close(self.conn);
+        } else {
+            eng.schedule_app_timer(self.block_interval(), BLOCK_TIMER);
+        }
+    }
+}
+
+impl SessionLogic for ServerPacedLogic {
+    fn on_start(&mut self, eng: &mut Engine) {
+        let client_cfg = TcpConfig::default().with_recv_buffer(self.cfg.client_recv_buffer);
+        self.conn = eng.open_connection(client_cfg, server_tcp());
+    }
+
+    fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+        debug_assert_eq!(conn, self.conn);
+        let burst = self.video.playback_bytes(self.cfg.buffer_playback_secs);
+        self.write_next(eng, burst);
+    }
+
+    fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+        debug_assert_eq!(id, BLOCK_TIMER);
+        self.write_next(eng, self.cfg.block_bytes);
+    }
+
+    fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+        let n = eng.client_read(conn, u64::MAX);
+        self.read_total += n;
+        self.player.feed(eng.now(), n);
+    }
+}
+
+/// Extends [`ServerPacedLogic`] with its natural buffering-phase duration:
+/// how long the startup burst takes to play, which callers use when sizing
+/// capture windows.
+impl ServerPacedLogic {
+    /// Playback time of the startup burst.
+    pub fn buffering_playback(&self) -> SimDuration {
+        playback_time(&self.video, self.video.playback_bytes(self.cfg.buffer_playback_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_analysis::{classify, AnalysisConfig, SessionPhases, Strategy};
+    use vstream_net::NetworkProfile;
+    use vstream_sim::SimDuration;
+
+    fn run(video: Video, secs: u64) -> (Engine, ServerPacedLogic) {
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            11,
+            SimDuration::from_secs(secs),
+        );
+        let mut logic = ServerPacedLogic::new(ServerPacedConfig::default(), video);
+        eng.run(&mut logic);
+        (eng, logic)
+    }
+
+    #[test]
+    fn produces_short_onoff_cycles() {
+        // 1 Mbps, 600 s video — far longer than the 180 s capture.
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(600));
+        let (eng, _) = run(video, 180);
+        let strategy = classify(eng.trace(), &AnalysisConfig::default());
+        assert_eq!(strategy, Strategy::ShortCycles);
+    }
+
+    #[test]
+    fn buffering_phase_holds_40s_of_playback() {
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(600));
+        let (eng, _) = run(video, 180);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        assert!(phases.has_steady_state());
+        let playback = phases.buffered_playback_time(1_000_000.0);
+        assert!(
+            (35.0..=45.0).contains(&playback),
+            "buffered playback = {playback:.1} s (expected ~40)"
+        );
+    }
+
+    #[test]
+    fn steady_state_blocks_are_64kb() {
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(600));
+        let (eng, _) = run(video, 180);
+        let analysis = vstream_analysis::OnOffAnalysis::from_trace(eng.trace(), &AnalysisConfig::default());
+        let blocks = analysis.steady_state_block_sizes();
+        assert!(blocks.len() > 100, "expected many cycles, got {}", blocks.len());
+        let cdf = vstream_analysis::Cdf::new(blocks.iter().map(|&b| b as f64).collect());
+        let median = cdf.median();
+        assert!(
+            (60_000.0..=70_000.0).contains(&median),
+            "median block = {median}"
+        );
+    }
+
+    #[test]
+    fn accumulation_ratio_is_125() {
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(600));
+        let (eng, _) = run(video, 180);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        let k = phases.accumulation_ratio(1_000_000.0).unwrap();
+        assert!((1.1..=1.4).contains(&k), "k = {k:.3}");
+    }
+
+    #[test]
+    fn short_video_completes_and_closes() {
+        // 30 s video: fully pushed in the initial burst.
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(30));
+        let (eng, logic) = run(video, 180);
+        assert_eq!(logic.read_total, video.size_bytes());
+        assert!(eng.client_at_eof(0));
+    }
+
+    #[test]
+    fn player_never_stalls_on_fast_network() {
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(120));
+        let (_, logic) = run(video, 180);
+        assert!(logic.player.has_started());
+        assert_eq!(logic.player.stats().stalls, 0);
+    }
+}

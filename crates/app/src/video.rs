@@ -1,0 +1,68 @@
+//! Video metadata.
+
+use vstream_sim::SimDuration;
+
+/// A video as the streaming strategies see it: an encoding rate and a
+/// duration (§6 of the paper models a video as exactly this pair; the size
+/// is their product).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Video {
+    /// Catalogue identifier (for reproducibility of per-video results).
+    pub id: u64,
+    /// Encoding rate in bits per second.
+    pub encoding_bps: u64,
+    /// Playback duration.
+    pub duration: SimDuration,
+}
+
+impl Video {
+    /// Creates a video; rates and durations must be positive.
+    ///
+    /// # Panics
+    /// Panics on a zero encoding rate or duration.
+    pub fn new(id: u64, encoding_bps: u64, duration: SimDuration) -> Self {
+        assert!(encoding_bps > 0, "encoding rate must be positive");
+        assert!(!duration.is_zero(), "duration must be positive");
+        Video {
+            id,
+            encoding_bps,
+            duration,
+        }
+    }
+
+    /// Total content size in bytes: `S = e * L` (Table 3 of the paper).
+    pub fn size_bytes(&self) -> u64 {
+        (self.encoding_bps as u128 * self.duration.as_nanos() as u128 / 8 / 1_000_000_000) as u64
+    }
+
+    /// Bytes corresponding to `secs` seconds of playback.
+    pub fn playback_bytes(&self, secs: f64) -> u64 {
+        assert!(secs >= 0.0, "playback time must be non-negative");
+        (self.encoding_bps as f64 * secs / 8.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_rate_times_duration() {
+        // 1 Mbps for 100 s = 12.5 MB.
+        let v = Video::new(1, 1_000_000, SimDuration::from_secs(100));
+        assert_eq!(v.size_bytes(), 12_500_000);
+    }
+
+    #[test]
+    fn playback_bytes_converts() {
+        let v = Video::new(1, 2_000_000, SimDuration::from_secs(60));
+        assert_eq!(v.playback_bytes(40.0), 10_000_000);
+        assert_eq!(v.playback_bytes(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "encoding rate must be positive")]
+    fn rejects_zero_rate() {
+        Video::new(1, 0, SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,118 @@
+//! Criterion benchmarks: one per reproduced table/figure family.
+//!
+//! Each benchmark regenerates a paper experiment at a reduced sample size
+//! (the experiments run whole streaming sessions through the packet-level
+//! simulator, so a full-size regeneration belongs in the `repro` binary,
+//! not in a statistics-gathering loop). The benchmarks double as
+//! regression guards on simulator performance: a TCP or engine slowdown
+//! shows up here immediately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use vstream::figures as f;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(1));
+
+    g.bench_function("fig1_phases", |b| {
+        b.iter(|| black_box(f::fig1_phases(black_box(1))))
+    });
+    g.bench_function("fig2_short_onoff", |b| {
+        b.iter(|| black_box(f::fig2_short_onoff(black_box(2))))
+    });
+    g.bench_function("fig3a_flash_buffering_n2", |b| {
+        b.iter(|| black_box(f::fig3a_flash_buffering(black_box(3), 2)))
+    });
+    g.bench_function("fig3b_html5_buffering_n2", |b| {
+        b.iter(|| black_box(f::fig3b_html5_buffering(black_box(4), 2)))
+    });
+    g.bench_function("fig4_flash_steady_state_n2", |b| {
+        b.iter(|| black_box(f::fig4_flash_steady_state(black_box(5), 2)))
+    });
+    g.bench_function("fig5_html5_steady_state_n2", |b| {
+        b.iter(|| black_box(f::fig5_html5_steady_state(black_box(6), 2)))
+    });
+    g.bench_function("fig6a_long_onoff", |b| {
+        b.iter(|| black_box(f::fig6a_long_onoff(black_box(7))))
+    });
+    g.bench_function("fig6b_long_blocks_n1", |b| {
+        b.iter(|| black_box(f::fig6b_long_blocks(black_box(8), 1)))
+    });
+    g.bench_function("fig7a_ipad_traces", |b| {
+        b.iter(|| black_box(f::fig7a_ipad_traces(black_box(9))))
+    });
+    g.bench_function("fig7b_ipad_block_vs_rate_n2", |b| {
+        b.iter(|| black_box(f::fig7b_ipad_block_vs_rate(black_box(10), 2)))
+    });
+    g.bench_function("fig8_bulk_rates_n2", |b| {
+        b.iter(|| black_box(f::fig8_bulk_rates(black_box(11), 2)))
+    });
+    g.bench_function("fig9_ack_clock", |b| {
+        b.iter(|| black_box(f::fig9_ack_clock(black_box(12))))
+    });
+    g.bench_function("fig9_idle_reset_ablation", |b| {
+        b.iter(|| black_box(f::fig9_idle_reset_ablation(black_box(13))))
+    });
+    g.bench_function("fig10_netflix_traces", |b| {
+        b.iter(|| black_box(f::fig10_netflix_traces(black_box(14))))
+    });
+    g.bench_function("fig11_netflix_buffering_n1", |b| {
+        b.iter(|| black_box(f::fig11_netflix_buffering(black_box(15), 1)))
+    });
+    g.bench_function("fig12_netflix_blocks_n1", |b| {
+        b.iter(|| black_box(f::fig12_netflix_blocks(black_box(16), 1)))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10).measurement_time(Duration::from_secs(30)).warm_up_time(Duration::from_secs(1));
+    g.bench_function("table1_strategy_matrix", |b| {
+        b.iter(|| black_box(f::table1_strategy_matrix(black_box(17))))
+    });
+    g.bench_function("table2_strategy_comparison", |b| {
+        b.iter(|| black_box(f::table2_strategy_comparison(black_box(18), 60)))
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10).measurement_time(Duration::from_secs(25)).warm_up_time(Duration::from_secs(1));
+    g.bench_function("ext_stall_vs_accumulation_n1", |b| {
+        b.iter(|| black_box(f::ext_stall_vs_accumulation(black_box(21), 1)))
+    });
+    g.bench_function("ext_sack_ablation_1run", |b| {
+        b.iter(|| black_box(f::ext_sack_ablation_with_runs(black_box(22), 1)))
+    });
+    g.bench_function("ext_congestion_ablation", |b| {
+        b.iter(|| black_box(f::ext_congestion_ablation(black_box(23))))
+    });
+    g.bench_function("ext_third_moment", |b| {
+        b.iter(|| black_box(f::ext_third_moment(black_box(24), 1000.0)))
+    });
+    g.bench_function("ext_aggregate_packet_level_n10", |b| {
+        b.iter(|| black_box(f::ext_aggregate_packet_level(black_box(25), 10, 600.0)))
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.sample_size(10).measurement_time(Duration::from_secs(15)).warm_up_time(Duration::from_secs(1));
+    g.bench_function("model_aggregate_moments", |b| {
+        b.iter(|| black_box(f::model_aggregate_moments(black_box(19), 1500.0)))
+    });
+    g.bench_function("model_interruption_waste", |b| {
+        b.iter(|| black_box(f::model_interruption_waste(black_box(20))))
+    });
+    g.bench_function("model_smoothing", |b| b.iter(|| black_box(f::model_smoothing())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables, bench_extensions, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the substrates: raw TCP transfer throughput through
+//! the simulator, session-engine event rates, and the analysis pipeline.
+//! These guard the performance the figure regenerations depend on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use vstream::prelude::*;
+use vstream_analysis::OnOffAnalysis;
+
+/// One bulk 180 s session: the most packet-dense workload (no pacing).
+fn bulk_session(seed: u64) -> usize {
+    let out = run_cell(
+        Client::Firefox,
+        Container::Html5,
+        Video::new(1, 2_000_000, SimDuration::from_secs(120)),
+        NetworkProfile::Research,
+        seed,
+        SimDuration::from_secs(180),
+    )
+    .unwrap();
+    out.trace.len()
+}
+
+/// A paced 180 s session: timer-heavy workload.
+fn paced_session(seed: u64) -> usize {
+    let out = run_cell(
+        Client::Firefox,
+        Container::Flash,
+        Video::new(1, 1_000_000, SimDuration::from_secs(2400)),
+        NetworkProfile::Research,
+        seed,
+        SimDuration::from_secs(180),
+    )
+    .unwrap();
+    out.trace.len()
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sessions");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(1));
+    g.bench_function("bulk_120s_video", |b| {
+        b.iter(|| black_box(bulk_session(black_box(1))))
+    });
+    g.bench_function("flash_paced_180s_capture", |b| {
+        b.iter(|| black_box(paced_session(black_box(2))))
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    // Pre-compute one trace, then benchmark the analysis passes alone.
+    let out = run_cell(
+        Client::Firefox,
+        Container::Flash,
+        Video::new(1, 1_000_000, SimDuration::from_secs(2400)),
+        NetworkProfile::Research,
+        3,
+        SimDuration::from_secs(180),
+    )
+    .unwrap();
+    let trace = out.trace;
+    let cfg = AnalysisConfig::default();
+
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(30);
+    g.bench_function("onoff_detection", |b| {
+        b.iter(|| black_box(OnOffAnalysis::from_trace(&trace, &cfg)))
+    });
+    g.bench_function("phase_decomposition", |b| {
+        b.iter(|| black_box(SessionPhases::from_trace(&trace, &cfg)))
+    });
+    g.bench_function("classification", |b| {
+        b.iter(|| black_box(classify(&trace, &cfg)))
+    });
+    g.bench_function("download_series", |b| {
+        b.iter(|| black_box(trace.download_series().len()))
+    });
+    g.finish();
+}
+
+fn bench_fluid_model(c: &mut Criterion) {
+    use vstream_model::{FluidSim, FluidStrategy, PopulationModel};
+    let pop = PopulationModel {
+        lambda: 2.0,
+        encoding_bps: (0.5e6, 1.5e6),
+        duration_secs: (120.0, 360.0),
+        bandwidth_bps: (5e6, 15e6),
+    };
+    let mut g = c.benchmark_group("fluid_model");
+    g.sample_size(10);
+    g.bench_function("superposition_1000s", |b| {
+        let sim = FluidSim::new(pop.clone(), FluidStrategy::short_cycles());
+        b.iter(|| black_box(sim.moments(black_box(4), 1000.0, 0.5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sessions, bench_analysis, bench_fluid_model);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                  # everything, summaries to stdout
+//! repro table1 fig4 fig9     # a selection
+//! repro all --csv out/       # also write each figure/table as CSV
+//! repro all --seed 7 --n 20  # change the seed / per-network sample size
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use vstream::figures as f;
+use vstream::report::{FigureData, TableData};
+
+struct Options {
+    seed: u64,
+    n: usize,
+    csv_dir: Option<PathBuf>,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        seed: 2026,
+        n: 12,
+        csv_dir: None,
+    };
+    let mut selected: Vec<String> = Vec::new();
+    while let Some(arg) = args.first().cloned() {
+        args.remove(0);
+        match arg.as_str() {
+            "--seed" => opts.seed = take_value(&mut args, "--seed"),
+            "--n" => opts.n = take_value(&mut args, "--n"),
+            "--csv" => {
+                let dir: String = take_value(&mut args, "--csv");
+                opts.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        print_usage();
+        return;
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &opts.csv_dir {
+        fs::create_dir_all(dir).expect("create csv output directory");
+    }
+    for id in &selected {
+        run_one(id, &opts);
+    }
+}
+
+fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    if args.is_empty() {
+        panic!("{flag} needs a value");
+    }
+    args.remove(0).parse().unwrap_or_else(|e| panic!("bad {flag}: {e:?}"))
+}
+
+const ALL_IDS: [&str; 21] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "table1", "table2", "model-agg", "model-waste", "ext-stalls", "ext-sack", "ext-cc",
+    "ext-m3", "ext-agg-pkt",
+];
+
+fn print_usage() {
+    println!("usage: repro [ids...|all] [--seed N] [--n N] [--csv DIR]");
+    println!("ids: {}", ALL_IDS.join(" "));
+}
+
+fn run_one(id: &str, opts: &Options) {
+    let (seed, n) = (opts.seed, opts.n);
+    println!("==> {id}");
+    match id {
+        "fig1" => emit_fig(&f::fig1_phases(seed), opts),
+        "fig2" => {
+            let (a, b) = f::fig2_short_onoff(seed);
+            emit_fig(&a, opts);
+            emit_fig(&b, opts);
+        }
+        "fig3" => {
+            let (a, corr_a) = f::fig3a_flash_buffering(seed, n);
+            emit_fig(&a, opts);
+            println!("  buffering/rate correlation (Research): {corr_a:.2}  [paper: 0.85]");
+            let (b, corr_b) = f::fig3b_html5_buffering(seed, n);
+            emit_fig(&b, opts);
+            println!("  buffering/rate correlation (HTML5/IE): {corr_b:.2}  [paper: 0.41]");
+        }
+        "fig4" => {
+            let (a, b) = f::fig4_flash_steady_state(seed, n);
+            emit_fig(&a, opts);
+            emit_fig(&b, opts);
+        }
+        "fig5" => {
+            let (a, b) = f::fig5_html5_steady_state(seed, n);
+            emit_fig(&a, opts);
+            emit_fig(&b, opts);
+        }
+        "fig6" => {
+            emit_fig(&f::fig6a_long_onoff(seed), opts);
+            emit_fig(&f::fig6b_long_blocks(seed, n.min(8)), opts);
+        }
+        "fig7" => {
+            emit_fig(&f::fig7a_ipad_traces(seed), opts);
+            emit_fig(&f::fig7b_ipad_block_vs_rate(seed, n), opts);
+        }
+        "fig8" => {
+            let (fig, corr) = f::fig8_bulk_rates(seed, n);
+            emit_fig(&fig, opts);
+            println!("  download-rate/encoding-rate correlation: {corr:.2}  [paper: none visible]");
+        }
+        "fig9" => {
+            emit_fig(&f::fig9_ack_clock(seed), opts);
+            let (no_reset, with_reset) = f::fig9_idle_reset_ablation(seed);
+            println!(
+                "  ablation — median first-RTT burst: {no_reset:.0} kB without idle reset, \
+                 {with_reset:.0} kB with RFC 5681 reset"
+            );
+        }
+        "fig10" => {
+            let (a, b) = f::fig10_netflix_traces(seed);
+            emit_fig(&a, opts);
+            emit_fig(&b, opts);
+        }
+        "fig11" => {
+            let (a, b) = f::fig11_netflix_buffering(seed, n.min(6));
+            emit_fig(&a, opts);
+            emit_fig(&b, opts);
+        }
+        "fig12" => {
+            let (a, b) = f::fig12_netflix_blocks(seed, n.min(4));
+            emit_fig(&a, opts);
+            emit_fig(&b, opts);
+        }
+        "table1" => {
+            let (table, cells) = f::table1_strategy_matrix(seed);
+            emit_table(&table, opts);
+            let ok = cells.iter().filter(|c| c.matches()).count();
+            println!("  {ok}/{} cells match the paper's Table 1", cells.len());
+        }
+        "table2" => emit_table(&f::table2_strategy_comparison(seed, 60), opts),
+        "model-agg" => emit_table(&f::model_aggregate_moments(seed, 4000.0), opts),
+        "ext-stalls" => emit_fig(&f::ext_stall_vs_accumulation(seed, n.min(8)), opts),
+        "ext-sack" => emit_table(&f::ext_sack_ablation(seed), opts),
+        "ext-cc" => emit_table(&f::ext_congestion_ablation(seed), opts),
+        "ext-m3" => emit_table(&f::ext_third_moment(seed, 4000.0), opts),
+        "ext-agg-pkt" => emit_table(&f::ext_aggregate_packet_level(seed, 40, 1200.0), opts),
+        "model-waste" => {
+            let (threshold, fig) = f::model_interruption_waste(seed);
+            println!(
+                "  Eq. (7) example: Flash videos shorter than {threshold:.1} s are fully \
+                 downloaded at beta = 0.2  [paper: 53.3 s]"
+            );
+            emit_fig(&fig, opts);
+            emit_fig(&f::model_smoothing(), opts);
+        }
+        other => eprintln!("unknown id {other:?} (try --help)"),
+    }
+}
+
+fn emit_fig(fig: &FigureData, opts: &Options) {
+    print!("{}", fig.summary());
+    if let Some(dir) = &opts.csv_dir {
+        let path = dir.join(format!("{}.csv", fig.id));
+        fs::write(&path, fig.to_csv()).expect("write csv");
+        println!("  wrote {}", path.display());
+    }
+}
+
+fn emit_table(table: &TableData, opts: &Options) {
+    println!("{}", table.to_text());
+    if let Some(dir) = &opts.csv_dir {
+        let path = dir.join(format!("{}.csv", table.id));
+        fs::write(&path, table.to_csv()).expect("write csv");
+        println!("  wrote {}", path.display());
+    }
+}

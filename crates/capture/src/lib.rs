@@ -1,0 +1,18 @@
+//! In-simulator packet capture.
+//!
+//! The paper's measurement methodology was "run tcpdump/windump on the
+//! viewing machine and analyse the capture". This crate is that tcpdump: the
+//! session loop taps every segment that crosses the client's network
+//! interface into a [`Trace`], which the `vstream-analysis` crate then
+//! processes exactly as the authors processed their pcap files.
+//!
+//! A [`Trace`] can also be exported as a real libpcap file
+//! ([`pcap::write_pcap`]) with synthesized IPv4/TCP headers, so any external
+//! tool (Wireshark, tshark, tcptrace) can inspect simulated sessions.
+
+pub mod pcap;
+pub mod record;
+pub mod trace;
+
+pub use record::{PacketRecord, TapDirection};
+pub use trace::Trace;

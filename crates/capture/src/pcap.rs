@@ -1,0 +1,265 @@
+//! libpcap file export.
+//!
+//! Writes a [`crate::Trace`] as a classic libpcap capture (the format
+//! produced by `tcpdump -w`), synthesizing IPv4 and TCP headers around each
+//! simulated segment so Wireshark/tshark/tcptrace can open simulated
+//! sessions directly.
+//!
+//! Conventions:
+//! * Link type 101 (`LINKTYPE_RAW`): packets start at the IPv4 header.
+//! * The client is `10.0.0.1`, the server `10.0.0.2`; the server listens on
+//!   port 80 and the client uses port `49152 + conn`.
+//! * Payload bytes are not materialized by the simulator, so packets are
+//!   written *snapped* at the headers: `incl_len` covers the headers while
+//!   `orig_len` reports the true on-wire size — exactly what `tcpdump -s 40`
+//!   produces.
+//! * 64-bit simulator sequence numbers are truncated to 32 bits (real TCP
+//!   wraps too); advertised windows are clamped to 16 bits with a window
+//!   scale of 7 noted in the SYN (value `min(window >> 7, 0xffff)`).
+
+use std::io::{self, Write};
+
+use crate::record::TapDirection;
+use crate::trace::Trace;
+
+const PCAP_MAGIC: u32 = 0xa1b2_c3d4; // microsecond timestamps
+const LINKTYPE_RAW: u32 = 101;
+const IP_HEADER_LEN: usize = 20;
+const TCP_HEADER_LEN: usize = 20;
+
+const CLIENT_IP: [u8; 4] = [10, 0, 0, 1];
+const SERVER_IP: [u8; 4] = [10, 0, 0, 2];
+const SERVER_PORT: u16 = 80;
+const CLIENT_PORT_BASE: u16 = 49152;
+
+/// Window scale factor applied when clamping 64-bit simulated windows into
+/// the 16-bit header field.
+pub const WINDOW_SCALE: u8 = 7;
+
+/// Writes `trace` to `w` in libpcap format.
+///
+/// # Errors
+/// Propagates any I/O error from the underlying writer.
+pub fn write_pcap<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    write_global_header(&mut w)?;
+    for r in trace.records() {
+        let (src_ip, dst_ip, src_port, dst_port) = match r.dir {
+            TapDirection::Incoming => (
+                SERVER_IP,
+                CLIENT_IP,
+                SERVER_PORT,
+                client_port(r.seg.conn),
+            ),
+            TapDirection::Outgoing => (
+                CLIENT_IP,
+                SERVER_IP,
+                client_port(r.seg.conn),
+                SERVER_PORT,
+            ),
+        };
+
+        let total_len = IP_HEADER_LEN + TCP_HEADER_LEN + r.seg.payload as usize;
+        let snap_len = IP_HEADER_LEN + TCP_HEADER_LEN;
+
+        // Per-packet header.
+        let nanos = r.at.as_nanos();
+        w.write_all(&((nanos / 1_000_000_000) as u32).to_le_bytes())?;
+        w.write_all(&((nanos % 1_000_000_000 / 1_000) as u32).to_le_bytes())?;
+        w.write_all(&(snap_len as u32).to_le_bytes())?;
+        w.write_all(&(total_len as u32).to_le_bytes())?;
+
+        // IPv4 header.
+        let mut ip = [0u8; IP_HEADER_LEN];
+        ip[0] = 0x45; // version 4, IHL 5
+        ip[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
+        ip[8] = 64; // TTL
+        ip[9] = 6; // TCP
+        ip[12..16].copy_from_slice(&src_ip);
+        ip[16..20].copy_from_slice(&dst_ip);
+        let csum = ipv4_checksum(&ip);
+        ip[10..12].copy_from_slice(&csum.to_be_bytes());
+        w.write_all(&ip)?;
+
+        // TCP header.
+        let mut tcp = [0u8; TCP_HEADER_LEN];
+        tcp[0..2].copy_from_slice(&src_port.to_be_bytes());
+        tcp[2..4].copy_from_slice(&dst_port.to_be_bytes());
+        tcp[4..8].copy_from_slice(&(r.seg.seq as u32).to_be_bytes());
+        tcp[8..12].copy_from_slice(&(r.seg.ack_no as u32).to_be_bytes());
+        tcp[12] = (TCP_HEADER_LEN as u8 / 4) << 4; // data offset
+        let mut flags = 0u8;
+        if r.seg.fin {
+            flags |= 0x01;
+        }
+        if r.seg.syn {
+            flags |= 0x02;
+        }
+        if r.seg.ack {
+            flags |= 0x10;
+        }
+        tcp[13] = flags;
+        let window = (r.seg.window >> WINDOW_SCALE).min(u16::MAX as u64) as u16;
+        tcp[14..16].copy_from_slice(&window.to_be_bytes());
+        // Checksum left zero: the simulator has no payload bytes to sum, and
+        // analysers treat zero as "offloaded", as with real captures.
+        w.write_all(&tcp)?;
+    }
+    Ok(())
+}
+
+fn write_global_header<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(&PCAP_MAGIC.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&65535u32.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+    Ok(())
+}
+
+fn client_port(conn: u32) -> u16 {
+    CLIENT_PORT_BASE.wrapping_add((conn % 16_000) as u16)
+}
+
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in header.chunks(2) {
+        let word = u16::from_be_bytes([chunk[0], *chunk.get(1).unwrap_or(&0)]);
+        sum += word as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_sim::SimTime;
+    use vstream_tcp::segment::SackBlocks;
+    use vstream_tcp::Segment;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        let syn = Segment {
+            conn: 3,
+            seq: 0,
+            ack_no: 0,
+            window: 256 * 1024,
+            payload: 0,
+            syn: true,
+            fin: false,
+            ack: false,
+            retx: false,
+            sack: SackBlocks::EMPTY,
+        };
+        t.push(SimTime::from_millis(1), TapDirection::Outgoing, syn);
+        let data = Segment {
+            conn: 3,
+            seq: 0,
+            ack_no: 0,
+            window: 64 * 1024,
+            payload: 1460,
+            syn: false,
+            fin: false,
+            ack: true,
+            retx: false,
+            sack: SackBlocks::EMPTY,
+        };
+        t.push(SimTime::from_millis(32), TapDirection::Incoming, data);
+        t
+    }
+
+    #[test]
+    fn global_header_is_well_formed() {
+        let mut buf = Vec::new();
+        write_pcap(&Trace::new(), &mut buf).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[0..4], &PCAP_MAGIC.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), LINKTYPE_RAW);
+    }
+
+    #[test]
+    fn packets_have_correct_lengths() {
+        let mut buf = Vec::new();
+        write_pcap(&sample_trace(), &mut buf).unwrap();
+        // 24 global + 2 * (16 record header + 40 headers).
+        assert_eq!(buf.len(), 24 + 2 * (16 + 40));
+
+        // First record: SYN, orig_len == incl_len == 40.
+        let rec = &buf[24..];
+        let incl = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+        let orig = u32::from_le_bytes(rec[12..16].try_into().unwrap());
+        assert_eq!(incl, 40);
+        assert_eq!(orig, 40);
+
+        // Second record: data, orig_len includes the 1460-byte payload.
+        let rec2 = &buf[24 + 16 + 40..];
+        let incl2 = u32::from_le_bytes(rec2[8..12].try_into().unwrap());
+        let orig2 = u32::from_le_bytes(rec2[12..16].try_into().unwrap());
+        assert_eq!(incl2, 40);
+        assert_eq!(orig2, 40 + 1460);
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let mut buf = Vec::new();
+        write_pcap(&sample_trace(), &mut buf).unwrap();
+        let rec = &buf[24..];
+        let secs = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let micros = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        assert_eq!(secs, 0);
+        assert_eq!(micros, 1_000);
+    }
+
+    #[test]
+    fn ip_addresses_follow_direction() {
+        let mut buf = Vec::new();
+        write_pcap(&sample_trace(), &mut buf).unwrap();
+        // First packet is outgoing: src 10.0.0.1, dst 10.0.0.2.
+        let ip = &buf[24 + 16..];
+        assert_eq!(&ip[12..16], &CLIENT_IP);
+        assert_eq!(&ip[16..20], &SERVER_IP);
+        // Second packet is incoming: reversed.
+        let ip2 = &buf[24 + 16 + 40 + 16..];
+        assert_eq!(&ip2[12..16], &SERVER_IP);
+        assert_eq!(&ip2[16..20], &CLIENT_IP);
+    }
+
+    #[test]
+    fn tcp_flags_are_encoded() {
+        let mut buf = Vec::new();
+        write_pcap(&sample_trace(), &mut buf).unwrap();
+        let tcp = &buf[24 + 16 + IP_HEADER_LEN..];
+        assert_eq!(tcp[13], 0x02, "SYN flag");
+        let tcp2 = &buf[24 + 16 + 40 + 16 + IP_HEADER_LEN..];
+        assert_eq!(tcp2[13], 0x10, "ACK flag");
+    }
+
+    #[test]
+    fn ipv4_checksum_verifies() {
+        let mut buf = Vec::new();
+        write_pcap(&sample_trace(), &mut buf).unwrap();
+        let ip = &buf[24 + 16..24 + 16 + IP_HEADER_LEN];
+        // Summing a header including its checksum yields 0xffff -> !0 == 0.
+        let mut sum = 0u32;
+        for chunk in ip.chunks(2) {
+            sum += u16::from_be_bytes([chunk[0], chunk[1]]) as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        assert_eq!(sum, 0xffff);
+    }
+
+    #[test]
+    fn window_is_scaled_and_clamped() {
+        let mut buf = Vec::new();
+        write_pcap(&sample_trace(), &mut buf).unwrap();
+        let tcp = &buf[24 + 16 + IP_HEADER_LEN..];
+        let window = u16::from_be_bytes([tcp[14], tcp[15]]);
+        assert_eq!(window as u64, (256 * 1024) >> WINDOW_SCALE);
+    }
+}

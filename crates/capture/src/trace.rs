@@ -1,0 +1,379 @@
+//! A captured packet trace and the time-series extractions the paper's
+//! figures are built from.
+
+use std::collections::BTreeMap;
+
+use vstream_sim::SimTime;
+use vstream_tcp::Segment;
+
+use crate::record::{PacketRecord, TapDirection};
+
+/// A chronologically ordered packet capture taken at the client.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    records: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a captured packet.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if timestamps go backwards — captures are
+    /// produced by a monotone event loop.
+    pub fn push(&mut self, at: SimTime, dir: TapDirection, seg: Segment) {
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.at <= at),
+            "capture timestamps must be monotone"
+        );
+        self.records.push(PacketRecord { at, dir, seg });
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in capture order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Sorted list of connection ids present in the trace.
+    pub fn connections(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.records.iter().map(|r| r.seg.conn).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// A sub-trace containing only the given connection.
+    pub fn filter_connection(&self, conn: u32) -> Trace {
+        Trace {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.seg.conn == conn)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Incoming data packets (video payload), in order.
+    pub fn incoming_data(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter(|r| r.is_incoming_data())
+    }
+
+    /// Cumulative *unique* payload bytes downloaded over time, summed across
+    /// connections — the "Download Amount" axis of Figs. 1, 2a, 6a, 7a, 10.
+    ///
+    /// Unique means retransmissions and duplicates do not count twice: the
+    /// per-connection contribution is the high-water mark of contiguous
+    /// sequence space seen, which is how a trace analyser reconstructs
+    /// goodput from a capture.
+    pub fn download_series(&self) -> Vec<(SimTime, u64)> {
+        let mut high: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        let mut out = Vec::new();
+        for r in self.incoming_data() {
+            let end = r.seg.seq_end();
+            let h = high.entry(r.seg.conn).or_insert(0);
+            if end > *h {
+                total += end - *h;
+                *h = end;
+                out.push((r.at, total));
+            }
+        }
+        out
+    }
+
+    /// Cumulative *raw* payload bytes (including retransmissions) — the
+    /// network-load view used when quantifying overhead.
+    pub fn raw_download_series(&self) -> Vec<(SimTime, u64)> {
+        let mut total = 0u64;
+        self.incoming_data()
+            .map(|r| {
+                total += r.seg.payload as u64;
+                (r.at, total)
+            })
+            .collect()
+    }
+
+    /// Total unique bytes downloaded (final value of
+    /// [`Trace::download_series`]).
+    pub fn total_downloaded(&self) -> u64 {
+        self.download_series().last().map_or(0, |&(_, v)| v)
+    }
+
+    /// Total raw payload bytes including retransmissions.
+    pub fn total_raw_downloaded(&self) -> u64 {
+        self.incoming_data().map(|r| r.seg.payload as u64).sum()
+    }
+
+    /// Fraction of incoming data segments marked as retransmissions.
+    pub fn retransmission_rate(&self) -> f64 {
+        let (mut total, mut retx) = (0u64, 0u64);
+        for r in self.incoming_data() {
+            total += 1;
+            if r.seg.retx {
+                retx += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            retx as f64 / total as f64
+        }
+    }
+
+    /// The client's advertised receive window over time for one connection,
+    /// read from outgoing ACKs — the "Receive Window" axis of Figs. 2b
+    /// and 6a.
+    pub fn recv_window_series(&self, conn: u32) -> Vec<(SimTime, u64)> {
+        self.records
+            .iter()
+            .filter(|r| r.dir == TapDirection::Outgoing && r.seg.conn == conn && r.seg.ack)
+            .map(|r| (r.at, r.seg.window))
+            .collect()
+    }
+
+    /// Capture duration from first to last packet.
+    pub fn duration(&self) -> vstream_sim::SimDuration {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => b.at.duration_since(a.at),
+            _ => vstream_sim::SimDuration::ZERO,
+        }
+    }
+
+    /// Merges another trace into this one, keeping chronological order.
+    pub fn merge(&mut self, other: &Trace) {
+        self.records.extend_from_slice(&other.records);
+        self.records.sort_by_key(|r| r.at);
+    }
+
+    /// Incoming goodput binned over time: one `(bin_start, bits_per_sec)`
+    /// point per bin of width `bin`. The throughput-timeline view of a
+    /// capture, as a tool like Wireshark's IO graph would draw it.
+    pub fn throughput_timeline(&self, bin: vstream_sim::SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        let Some(first) = self.records.first() else {
+            return Vec::new();
+        };
+        let t0 = first.at;
+        let mut bins: Vec<u64> = Vec::new();
+        for r in self.incoming_data() {
+            let idx = (r.at.duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
+            if idx >= bins.len() {
+                bins.resize(idx + 1, 0);
+            }
+            bins[idx] += r.seg.payload as u64;
+        }
+        let secs = bin.as_secs_f64();
+        bins.into_iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                (
+                    t0 + vstream_sim::SimDuration::from_nanos(i as u64 * bin.as_nanos()),
+                    bytes as f64 * 8.0 / secs,
+                )
+            })
+            .collect()
+    }
+
+    /// Per-connection summary rows: `(conn, first_seen, last_seen,
+    /// unique_bytes)` — the paper's per-connection view of the iPad and
+    /// Netflix sessions (§5.1.3, §5.2.2).
+    pub fn connection_summaries(&self) -> Vec<ConnectionSummary> {
+        let mut map: BTreeMap<u32, ConnectionSummary> = BTreeMap::new();
+        let mut high: BTreeMap<u32, u64> = BTreeMap::new();
+        for r in &self.records {
+            let e = map.entry(r.seg.conn).or_insert(ConnectionSummary {
+                conn: r.seg.conn,
+                first_seen: r.at,
+                last_seen: r.at,
+                unique_bytes: 0,
+                packets: 0,
+            });
+            e.last_seen = r.at;
+            e.packets += 1;
+            if r.is_incoming_data() {
+                let h = high.entry(r.seg.conn).or_insert(0);
+                let end = r.seg.seq_end();
+                if end > *h {
+                    e.unique_bytes += end - *h;
+                    *h = end;
+                }
+            }
+        }
+        map.into_values().collect()
+    }
+}
+
+/// Per-connection statistics extracted from a capture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnectionSummary {
+    /// Connection id.
+    pub conn: u32,
+    /// First packet time.
+    pub first_seen: SimTime,
+    /// Last packet time.
+    pub last_seen: SimTime,
+    /// Unique payload bytes delivered to the client.
+    pub unique_bytes: u64,
+    /// Total packets (both directions).
+    pub packets: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_sim::SimDuration;
+    use vstream_tcp::segment::SackBlocks;
+
+    fn seg(conn: u32, seq: u64, payload: u32) -> Segment {
+        Segment {
+            conn,
+            seq,
+            ack_no: 0,
+            window: 65535,
+            payload,
+            syn: false,
+            fin: false,
+            ack: true,
+            retx: false,
+            sack: SackBlocks::EMPTY,
+        }
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn download_series_accumulates_unique_bytes() {
+        let mut t = Trace::new();
+        t.push(at(10), TapDirection::Incoming, seg(1, 0, 1000));
+        t.push(at(20), TapDirection::Incoming, seg(1, 1000, 1000));
+        // Retransmission of the first segment: no new bytes.
+        let mut rx = seg(1, 0, 1000);
+        rx.retx = true;
+        t.push(at(30), TapDirection::Incoming, rx);
+        let series = t.download_series();
+        assert_eq!(series, vec![(at(10), 1000), (at(20), 2000)]);
+        assert_eq!(t.total_downloaded(), 2000);
+        assert_eq!(t.total_raw_downloaded(), 3000);
+    }
+
+    #[test]
+    fn download_series_sums_connections() {
+        let mut t = Trace::new();
+        t.push(at(10), TapDirection::Incoming, seg(1, 0, 500));
+        t.push(at(20), TapDirection::Incoming, seg(2, 0, 700));
+        assert_eq!(t.total_downloaded(), 1200);
+        assert_eq!(t.connections(), vec![1, 2]);
+    }
+
+    #[test]
+    fn outgoing_packets_do_not_count_as_download() {
+        let mut t = Trace::new();
+        t.push(at(10), TapDirection::Outgoing, seg(1, 0, 800));
+        assert_eq!(t.total_downloaded(), 0);
+    }
+
+    #[test]
+    fn recv_window_series_reads_outgoing_acks() {
+        let mut t = Trace::new();
+        let mut a = seg(1, 0, 0);
+        a.window = 256_000;
+        t.push(at(5), TapDirection::Outgoing, a);
+        let mut b = seg(1, 0, 0);
+        b.window = 0;
+        t.push(at(15), TapDirection::Outgoing, b);
+        // A different connection's ACK is excluded.
+        t.push(at(25), TapDirection::Outgoing, seg(2, 0, 0));
+        let series = t.recv_window_series(1);
+        assert_eq!(series, vec![(at(5), 256_000), (at(15), 0)]);
+    }
+
+    #[test]
+    fn retransmission_rate_counts_marked_segments() {
+        let mut t = Trace::new();
+        t.push(at(1), TapDirection::Incoming, seg(1, 0, 1000));
+        let mut rx = seg(1, 0, 1000);
+        rx.retx = true;
+        t.push(at(2), TapDirection::Incoming, rx);
+        assert!((t.retransmission_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_connection_keeps_only_that_conn() {
+        let mut t = Trace::new();
+        t.push(at(1), TapDirection::Incoming, seg(1, 0, 100));
+        t.push(at(2), TapDirection::Incoming, seg(2, 0, 100));
+        let f = t.filter_connection(2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.records()[0].seg.conn, 2);
+    }
+
+    #[test]
+    fn duration_and_merge() {
+        let mut a = Trace::new();
+        a.push(at(10), TapDirection::Incoming, seg(1, 0, 100));
+        a.push(at(50), TapDirection::Incoming, seg(1, 100, 100));
+        assert_eq!(a.duration(), SimDuration::from_millis(40));
+
+        let mut b = Trace::new();
+        b.push(at(30), TapDirection::Incoming, seg(2, 0, 100));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.records()[1].seg.conn, 2, "merge must re-sort by time");
+    }
+
+    #[test]
+    fn throughput_timeline_bins_bytes() {
+        let mut t = Trace::new();
+        // 2000 bytes in the first second, 1000 in the third.
+        t.push(at(100), TapDirection::Incoming, seg(1, 0, 1000));
+        t.push(at(600), TapDirection::Incoming, seg(1, 1000, 1000));
+        t.push(at(2500), TapDirection::Incoming, seg(1, 2000, 1000));
+        let tl = t.throughput_timeline(SimDuration::from_secs(1));
+        assert_eq!(tl.len(), 3);
+        assert!((tl[0].1 - 16_000.0).abs() < 1e-9); // 2000 B/s = 16 kbps
+        assert_eq!(tl[1].1, 0.0);
+        assert!((tl[2].1 - 8_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connection_summaries_split_by_conn() {
+        let mut t = Trace::new();
+        t.push(at(10), TapDirection::Incoming, seg(1, 0, 500));
+        t.push(at(20), TapDirection::Outgoing, seg(1, 0, 0));
+        t.push(at(30), TapDirection::Incoming, seg(2, 0, 800));
+        let s = t.connection_summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].conn, 1);
+        assert_eq!(s[0].unique_bytes, 500);
+        assert_eq!(s[0].packets, 2);
+        assert_eq!(s[1].unique_bytes, 800);
+        assert_eq!(s[0].first_seen, at(10));
+        assert_eq!(s[0].last_seen, at(20));
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_downloaded(), 0);
+        assert_eq!(t.retransmission_rate(), 0.0);
+        assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+}

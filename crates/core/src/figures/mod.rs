@@ -1,0 +1,84 @@
+//! Regeneration of every figure and table in the paper's evaluation.
+//!
+//! Each function runs the necessary simulated sessions and returns the data
+//! behind one paper figure (as [`crate::report::FigureData`]) or table
+//! ([`crate::report::TableData`]). The `repro` binary in `vstream-bench`
+//! prints them all; `EXPERIMENTS.md` records how each compares with the
+//! published result.
+//!
+//! Functions take a `seed` (all randomness is derived from it) and, where
+//! the paper aggregated over many videos, a sample size `n` — the paper used
+//! thousands of sessions; the defaults here are sized so the full suite
+//! regenerates in minutes on a laptop, and the CDFs are already stable at
+//! these sizes.
+
+mod blocks;
+mod buffering;
+mod extensions;
+mod model;
+mod rates;
+mod tables;
+mod traces;
+
+pub use blocks::{fig12_netflix_blocks, fig4_flash_steady_state, fig5_html5_steady_state, fig6b_long_blocks, fig7b_ipad_block_vs_rate};
+pub use buffering::{fig11_netflix_buffering, fig3a_flash_buffering, fig3b_html5_buffering};
+pub use extensions::{ext_aggregate_packet_level, ext_congestion_ablation, ext_sack_ablation, ext_sack_ablation_with_runs, ext_stall_vs_accumulation, ext_third_moment};
+pub use model::{model_aggregate_moments, model_interruption_waste, model_smoothing};
+pub use rates::{fig8_bulk_rates, fig9_ack_clock, fig9_idle_reset_ablation};
+pub use tables::{table1_strategy_matrix, table2_strategy_comparison};
+pub use traces::{fig10_netflix_traces, fig1_phases, fig2_short_onoff, fig6a_long_onoff, fig7a_ipad_traces};
+
+use vstream_sim::{SimDuration, SimTime};
+
+/// The paper's capture duration per video (§4.2).
+pub const CAPTURE: SimDuration = SimDuration::from_secs(180);
+
+/// Downsamples a cumulative byte series to megabyte points on a time grid,
+/// keeping figures readable without altering their shape.
+pub(crate) fn downsample_mb(series: &[(SimTime, u64)], step: SimDuration) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    let mut next = SimTime::ZERO;
+    for &(t, bytes) in series {
+        if t >= next || out.is_empty() {
+            out.push((t.as_secs_f64(), bytes as f64 / 1e6));
+            next = t + step;
+        }
+    }
+    // Always include the final point.
+    if let Some(&(t, bytes)) = series.last() {
+        let p = (t.as_secs_f64(), bytes as f64 / 1e6);
+        if out.last() != Some(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// A long test video: outlasts the capture at any encoding rate used, so
+/// steady-state behaviour is fully visible.
+pub(crate) fn long_video(id: u64, encoding_bps: u64) -> vstream_app::Video {
+    vstream_app::Video::new(id, encoding_bps, SimDuration::from_secs(3000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_keeps_endpoints_and_grid() {
+        let series: Vec<(SimTime, u64)> = (0..100)
+            .map(|i| (SimTime::from_millis(i * 10), (i * 1_000_000) as u64))
+            .collect();
+        let ds = downsample_mb(&series, SimDuration::from_millis(100));
+        assert!(ds.len() < series.len());
+        assert_eq!(ds.first().unwrap().0, 0.0);
+        let last = ds.last().unwrap();
+        assert!((last.0 - 0.99).abs() < 1e-9);
+        assert!((last.1 - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_empty_is_empty() {
+        assert!(downsample_mb(&[], SimDuration::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fig. 8 (bulk download rate vs encoding rate) and Fig. 9 (the ack-clock
+//! test).
+
+use vstream_analysis::{first_rtt_bytes, pearson_correlation, AnalysisConfig, Cdf};
+use vstream_net::NetworkProfile;
+use vstream_sim::SimRng;
+use vstream_workload::{Client, Container, Dataset};
+
+use crate::figures::{long_video, CAPTURE};
+use crate::report::{FigureData, Series};
+use crate::session::run_cell;
+
+/// Fig. 8: for bulk (no ON-OFF) sessions the download rate is set by the
+/// available bandwidth, not the encoding rate. Returns the scatter plus the
+/// rate/download-rate correlation (the paper reports none visible).
+pub fn fig8_bulk_rates(seed: u64, n: usize) -> (FigureData, f64) {
+    let mut rng = SimRng::new(seed ^ 0xF16);
+    let videos = Dataset::YouHd.sample_many(seed, n);
+    let mut points = Vec::new();
+    for video in videos {
+        let engine_seed = rng.uniform_u64(0, u64::MAX);
+        let Some(out) = run_cell(
+            Client::Firefox, // any browser: Flash HD is browser-independent
+            Container::FlashHd,
+            video,
+            NetworkProfile::Research,
+            engine_seed,
+            CAPTURE,
+        ) else {
+            continue;
+        };
+        let duration = out.trace.duration().as_secs_f64();
+        if duration <= 0.0 {
+            continue;
+        }
+        let rate_mbps = out.trace.total_downloaded() as f64 * 8.0 / duration / 1e6;
+        points.push((video.encoding_bps as f64 / 1e6, rate_mbps));
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+    let corr = pearson_correlation(&xs, &ys);
+    (
+        FigureData {
+            id: "fig8",
+            title: "No ON-OFF cycles: download rate vs encoding rate (Flash HD)".into(),
+            x_label: "encoding_rate_mbps",
+            y_label: "download_rate_mbps",
+            series: vec![Series::new("Video", points)],
+        },
+        corr,
+    )
+}
+
+/// Fig. 9: the ack-clock test — CDF of the bytes received back-to-back
+/// within the first RTT of each steady-state ON period, per application.
+/// Entire blocks arriving within one RTT mean the congestion window was not
+/// reset across the OFF period.
+pub fn fig9_ack_clock(seed: u64) -> FigureData {
+    let cfg = AnalysisConfig::default();
+    let cases: [(&str, Client, Container, u64); 5] = [
+        ("Flash", Client::Firefox, Container::Flash, 1_000_000),
+        ("Int. Explorer", Client::InternetExplorer, Container::Html5, 1_000_000),
+        ("Chrome", Client::Chrome, Container::Html5, 1_200_000),
+        ("Android", Client::Android, Container::Html5, 1_200_000),
+        ("iPad", Client::Ipad, Container::Html5, 1_500_000),
+    ];
+    let mut series = Vec::new();
+    for (i, (label, client, container, rate)) in cases.into_iter().enumerate() {
+        let out = run_cell(
+            client,
+            container,
+            long_video(i as u64, rate),
+            NetworkProfile::Research,
+            seed.wrapping_add(i as u64),
+            CAPTURE,
+        )
+        .expect("valid cell");
+        let samples = first_rtt_bytes(&out.trace, &cfg, out.base_rtt);
+        let kb: Vec<f64> = samples.iter().map(|&b| b as f64 / 1e3).collect();
+        if kb.is_empty() {
+            continue;
+        }
+        series.push(Series::new(label, Cdf::new(kb).points()));
+    }
+    FigureData {
+        id: "fig9",
+        title: "Ack clock: bytes received in the first RTT of ON periods (CDF)".into(),
+        x_label: "amount_back_to_back_kb",
+        y_label: "cdf",
+        series,
+    }
+}
+
+/// The Fig. 9 ablation the paper could not run: the same measurement with
+/// servers that *do* reset their congestion window after idle periods
+/// (RFC 5681 §4.1). Returns `(median first-RTT kB without reset, with
+/// reset)` for the Flash strategy — quantifying how much burstiness the
+/// missing ack clock adds.
+pub fn fig9_idle_reset_ablation(seed: u64) -> (f64, f64) {
+    use vstream_app::engine::Engine;
+    use vstream_app::strategies::{ServerPacedConfig, ServerPacedLogic};
+    use vstream_sim::SimDuration;
+    use vstream_tcp::TcpConfig;
+
+    let cfg = AnalysisConfig::default();
+    let measure = |idle_reset: bool, seed: u64| -> f64 {
+        // Build the server-paced session manually so the server's TCP can be
+        // configured with the idle-reset switch.
+        struct Paced {
+            inner: ServerPacedLogic,
+            idle_reset: bool,
+        }
+        impl vstream_app::SessionLogic for Paced {
+            fn on_start(&mut self, eng: &mut Engine) {
+                let client = TcpConfig::default().with_recv_buffer(4 << 20);
+                let server = TcpConfig::default()
+                    .with_recv_buffer(256 * 1024)
+                    .with_idle_cwnd_reset(self.idle_reset);
+                let conn = eng.open_connection(client, server);
+                debug_assert_eq!(conn, 0);
+            }
+            fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+                self.inner.on_established(eng, conn);
+            }
+            fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+                self.inner.on_data_available(eng, conn);
+            }
+            fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
+                self.inner.on_eof(eng, conn);
+            }
+            fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+                self.inner.on_app_timer(eng, id);
+            }
+        }
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            seed,
+            SimDuration::from_secs(120),
+        );
+        let mut logic = Paced {
+            inner: ServerPacedLogic::new(ServerPacedConfig::default(), long_video(1, 1_000_000)),
+            idle_reset,
+        };
+        eng.run(&mut logic);
+        let samples = first_rtt_bytes(eng.trace(), &cfg, eng.base_rtt());
+        let kb: Vec<f64> = samples.iter().map(|&b| b as f64 / 1e3).collect();
+        if kb.is_empty() {
+            return 0.0;
+        }
+        Cdf::new(kb).median()
+    };
+    (measure(false, seed), measure(true, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_download_rate_uncorrelated_with_encoding() {
+        let (fig, corr) = fig8_bulk_rates(31, 8);
+        let pts = &fig.series[0].points;
+        assert!(pts.len() >= 6);
+        // All downloads run at tens of Mbps regardless of encoding rate.
+        for &(rate, dl) in pts {
+            assert!(
+                dl > 4.0 * rate || dl > 20.0,
+                "video at {rate:.1} Mbps downloaded at only {dl:.1} Mbps"
+            );
+        }
+        assert!(corr.abs() < 0.6, "correlation {corr:.2} should be weak");
+    }
+
+    #[test]
+    fn fig9_flash_blocks_arrive_back_to_back() {
+        let fig = fig9_ack_clock(33);
+        let flash = fig
+            .series
+            .iter()
+            .find(|s| s.label == "Flash")
+            .expect("Flash series present");
+        // The entire 64 kB block lands within one RTT: median ≈ 64 kB, far
+        // above the ~5.8 kB an RFC 5681-restarted window would allow.
+        let median = flash.points[flash.points.len() / 2].0;
+        assert!(
+            (55.0..=75.0).contains(&median),
+            "median Flash first-RTT amount {median:.0} kB"
+        );
+    }
+
+    #[test]
+    fn fig9_applications_differ() {
+        let fig = fig9_ack_clock(35);
+        assert!(fig.series.len() >= 4);
+        // Long-cycle clients (Chrome/Android) receive far more in the first
+        // RTT than Flash's 64 kB blocks.
+        let median = |label: &str| -> Option<f64> {
+            let s = fig.series.iter().find(|s| s.label == label)?;
+            Some(s.points[s.points.len() / 2].0)
+        };
+        let flash = median("Flash").unwrap();
+        if let Some(chrome) = median("Chrome") {
+            assert!(chrome > flash, "Chrome {chrome:.0} kB <= Flash {flash:.0} kB");
+        }
+    }
+
+    #[test]
+    fn idle_reset_ablation_restores_ack_clock() {
+        let (no_reset, with_reset) = fig9_idle_reset_ablation(37);
+        // Without reset the whole 64 kB block is back-to-back; with reset
+        // only the restart window (4 MSS ≈ 5.8 kB) arrives in the first RTT.
+        assert!(no_reset > 50.0, "no-reset median {no_reset:.1} kB");
+        assert!(
+            with_reset < no_reset / 3.0,
+            "idle reset should shrink the burst: {with_reset:.1} vs {no_reset:.1} kB"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The representative-trace figures: 1, 2, 6(a), 7(a), and 10.
+
+use vstream_net::NetworkProfile;
+use vstream_sim::SimDuration;
+use vstream_workload::{Client, Container};
+
+use crate::figures::{downsample_mb, long_video, CAPTURE};
+use crate::report::{FigureData, Series};
+use crate::session::run_cell;
+
+/// Fig. 1: the phases of a video download — buffering phase, then ON-OFF
+/// cycles in the steady state. One server-paced (Flash) session.
+pub fn fig1_phases(seed: u64) -> FigureData {
+    let out = run_cell(
+        Client::Firefox,
+        Container::Flash,
+        long_video(1, 1_000_000),
+        NetworkProfile::Research,
+        seed,
+        SimDuration::from_secs(60),
+    )
+    .expect("valid cell");
+    FigureData {
+        id: "fig1",
+        title: "Phases of video download (server-paced Flash session)".into(),
+        x_label: "time_s",
+        y_label: "download_mb",
+        series: vec![Series::new(
+            "Download amount",
+            downsample_mb(&out.trace.download_series(), SimDuration::from_millis(50)),
+        )],
+    }
+}
+
+/// Fig. 2: short ON-OFF cycles. Download amount (a) and the client's
+/// advertised receive window (b) for one Flash and one HTML5-on-IE session.
+/// The Flash window never empties (server-side pacing); the HTML5 window
+/// periodically collapses to zero (client-side pacing).
+pub fn fig2_short_onoff(seed: u64) -> (FigureData, FigureData) {
+    let window = SimDuration::from_secs(10);
+    let flash = run_cell(
+        Client::InternetExplorer,
+        Container::Flash,
+        long_video(1, 1_500_000),
+        NetworkProfile::Research,
+        seed,
+        window,
+    )
+    .expect("valid cell");
+    let html5 = run_cell(
+        Client::InternetExplorer,
+        Container::Html5,
+        long_video(2, 1_500_000),
+        NetworkProfile::Research,
+        seed.wrapping_add(1),
+        window,
+    )
+    .expect("valid cell");
+
+    let download = FigureData {
+        id: "fig2a",
+        title: "Short ON-OFF cycles: download amount".into(),
+        x_label: "time_s",
+        y_label: "download_mb",
+        series: vec![
+            Series::new(
+                "HTML5 (IE)",
+                downsample_mb(&html5.trace.download_series(), SimDuration::from_millis(20)),
+            ),
+            Series::new(
+                "Flash (IE)",
+                downsample_mb(&flash.trace.download_series(), SimDuration::from_millis(20)),
+            ),
+        ],
+    };
+
+    let wnd_series = |trace: &vstream_capture::Trace| -> Vec<(f64, f64)> {
+        trace
+            .recv_window_series(0)
+            .into_iter()
+            .map(|(t, w)| (t.as_secs_f64(), w as f64 / 1e3))
+            .collect()
+    };
+    let window_fig = FigureData {
+        id: "fig2b",
+        title: "Short ON-OFF cycles: TCP receive window".into(),
+        x_label: "time_s",
+        y_label: "recv_window_kb",
+        series: vec![
+            Series::new("HTML5 (IE)", wnd_series(&html5.trace)),
+            Series::new("Flash (IE)", wnd_series(&flash.trace)),
+        ],
+    };
+    (download, window_fig)
+}
+
+/// Fig. 6(a): long ON-OFF cycles — download amount and receive window for a
+/// Chrome HTML5 session. OFF periods last tens of seconds and the window
+/// empties between pulls.
+pub fn fig6a_long_onoff(seed: u64) -> FigureData {
+    let out = run_cell(
+        Client::Chrome,
+        Container::Html5,
+        long_video(1, 1_200_000),
+        NetworkProfile::Research,
+        seed,
+        CAPTURE,
+    )
+    .expect("valid cell");
+    let download = downsample_mb(&out.trace.download_series(), SimDuration::from_millis(200));
+    let window: Vec<(f64, f64)> = out
+        .trace
+        .recv_window_series(0)
+        .into_iter()
+        .map(|(t, w)| (t.as_secs_f64(), w as f64 / 1e6))
+        .collect();
+    FigureData {
+        id: "fig6a",
+        title: "Long ON-OFF cycles (Chrome): download amount and receive window".into(),
+        x_label: "time_s",
+        y_label: "mb",
+        series: vec![
+            Series::new("Down. Amt.", download),
+            Series::new("Recv. Wnd", window),
+        ],
+    }
+}
+
+/// Fig. 7(a): the iPad's mixture of strategies — two videos with different
+/// encoding rates produce different patterns (many-connection periodic
+/// buffering vs short cycles).
+pub fn fig7a_ipad_traces(seed: u64) -> FigureData {
+    let window = SimDuration::from_secs(50);
+    let video1 = run_cell(
+        Client::Ipad,
+        Container::Html5,
+        long_video(1, 2_500_000),
+        NetworkProfile::Research,
+        seed,
+        window,
+    )
+    .expect("valid cell");
+    let video2 = run_cell(
+        Client::Ipad,
+        Container::Html5,
+        long_video(2, 400_000),
+        NetworkProfile::Research,
+        seed.wrapping_add(1),
+        window,
+    )
+    .expect("valid cell");
+    FigureData {
+        id: "fig7a",
+        title: "iPad: different streaming patterns for two videos".into(),
+        x_label: "time_s",
+        y_label: "download_mb",
+        series: vec![
+            Series::new(
+                "Video1 (2.5 Mbps)",
+                downsample_mb(&video1.trace.download_series(), SimDuration::from_millis(100)),
+            ),
+            Series::new(
+                "Video2 (0.4 Mbps)",
+                downsample_mb(&video2.trace.download_series(), SimDuration::from_millis(100)),
+            ),
+        ],
+    }
+}
+
+/// Fig. 10: Netflix traces — short ON-OFF cycles for PC and iPad (a), long
+/// cycles for Android (b). All on the Academic network, as measured.
+pub fn fig10_netflix_traces(seed: u64) -> (FigureData, FigureData) {
+    let pc = run_cell(
+        Client::Firefox,
+        Container::Silverlight,
+        long_video(1, 3_000_000),
+        NetworkProfile::Academic,
+        seed,
+        SimDuration::from_secs(100),
+    )
+    .expect("valid cell");
+    let ipad = run_cell(
+        Client::Ipad,
+        Container::Silverlight,
+        long_video(2, 1_600_000),
+        NetworkProfile::Academic,
+        seed.wrapping_add(1),
+        SimDuration::from_secs(100),
+    )
+    .expect("valid cell");
+    let android = run_cell(
+        Client::Android,
+        Container::Silverlight,
+        long_video(3, 1_600_000),
+        NetworkProfile::Academic,
+        seed.wrapping_add(2),
+        SimDuration::from_secs(150),
+    )
+    .expect("valid cell");
+
+    let short = FigureData {
+        id: "fig10a",
+        title: "Netflix: short ON-OFF cycles (PC and iPad, Academic)".into(),
+        x_label: "time_s",
+        y_label: "download_mb",
+        series: vec![
+            Series::new(
+                "PC Acad.",
+                downsample_mb(&pc.trace.download_series(), SimDuration::from_millis(200)),
+            ),
+            Series::new(
+                "iPad Acad.",
+                downsample_mb(&ipad.trace.download_series(), SimDuration::from_millis(200)),
+            ),
+        ],
+    };
+    let long = FigureData {
+        id: "fig10b",
+        title: "Netflix: long ON-OFF cycles (Android, Academic)".into(),
+        x_label: "time_s",
+        y_label: "download_mb",
+        series: vec![Series::new(
+            "Android Acad.",
+            downsample_mb(&android.trace.download_series(), SimDuration::from_millis(200)),
+        )],
+    };
+    (short, long)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_analysis::{AnalysisConfig, OnOffAnalysis};
+
+    #[test]
+    fn fig1_shows_buffering_then_steps() {
+        let fig = fig1_phases(1);
+        let s = &fig.series[0];
+        assert!(s.points.len() > 10);
+        // Monotone non-decreasing cumulative download.
+        assert!(s.points.windows(2).all(|w| w[1].1 >= w[0].1));
+        // ~40 s of 1 Mbps = 5 MB buffering, plus steady state.
+        let total = s.last_y().unwrap();
+        assert!(total > 5.0, "downloaded {total:.1} MB");
+    }
+
+    #[test]
+    fn fig2_flash_window_stays_open_html5_hits_zero() {
+        let (_, windows) = fig2_short_onoff(2);
+        let html5 = &windows.series[0];
+        let flash = &windows.series[1];
+        assert!(
+            html5.points.iter().any(|&(_, w)| w == 0.0),
+            "HTML5 window never reached zero"
+        );
+        let flash_min = flash.points.iter().map(|&(_, w)| w).fold(f64::MAX, f64::min);
+        assert!(flash_min > 0.0, "Flash window emptied: {flash_min}");
+    }
+
+    #[test]
+    fn fig6a_has_long_off_periods() {
+        let fig = fig6a_long_onoff(3);
+        // Reconstruct gaps from the download series: at least one OFF gap
+        // beyond 20 s.
+        let s = &fig.series[0];
+        let max_gap = s
+            .points
+            .windows(2)
+            .map(|w| w[1].0 - w[0].0)
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 20.0, "longest gap {max_gap:.1} s");
+    }
+
+    #[test]
+    fn fig10_netflix_shapes() {
+        let (short, long) = fig10_netflix_traces(4);
+        assert_eq!(short.series.len(), 2);
+        // PC downloads much more than iPad in the same window (50 vs 10 MB
+        // buffering).
+        let pc_total = short.series[0].last_y().unwrap();
+        let ipad_total = short.series[1].last_y().unwrap();
+        assert!(
+            pc_total > 2.0 * ipad_total,
+            "PC {pc_total:.0} MB vs iPad {ipad_total:.0} MB"
+        );
+        assert!(long.series[0].last_y().unwrap() > 30.0);
+    }
+
+    #[test]
+    fn fig7a_high_rate_video_uses_more_connections() {
+        // Not directly visible in the figure data, so re-run the cells.
+        let v1 = run_cell(
+            Client::Ipad,
+            Container::Html5,
+            long_video(1, 2_500_000),
+            NetworkProfile::Research,
+            5,
+            SimDuration::from_secs(50),
+        )
+        .unwrap();
+        let a = OnOffAnalysis::from_trace(&v1.trace, &AnalysisConfig::default());
+        assert!(v1.connections >= 5);
+        assert!(a.cycles.len() >= 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! # vstream — video streaming traffic, reproduced
+//!
+//! A from-scratch reproduction of *“Network Characteristics of Video
+//! Streaming Traffic”* (Rao, Lim, Barakat, Legout, Towsley, Dabbous — ACM
+//! CoNEXT 2011): the streaming strategies of 2011-era YouTube and Netflix,
+//! the measurement methodology that identified them, and the analytical
+//! model of their aggregate traffic — all running on a deterministic
+//! packet-level network simulator with a real TCP implementation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vstream::prelude::*;
+//!
+//! // Stream one Flash video over the paper's Research network and classify
+//! // the traffic pattern, exactly as the paper's tcpdump pipeline would.
+//! let video = Video::new(0, 1_000_000, SimDuration::from_secs(600));
+//! let outcome = run_cell(
+//!     Client::Firefox,
+//!     Container::Flash,
+//!     video,
+//!     NetworkProfile::Research,
+//!     42,
+//!     SimDuration::from_secs(60),
+//! )
+//! .expect("browser + Flash is a valid Table 1 cell");
+//! let strategy = classify(&outcome.trace, &AnalysisConfig::default());
+//! assert_eq!(strategy, Strategy::ShortCycles); // server-paced 64 kB blocks
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | `vstream-sim` | deterministic event queue, clock, seeded RNG |
+//! | `vstream-net` | links, queues, loss, the four vantage-point profiles |
+//! | `vstream-tcp` | Reno/NewReno + SACK TCP with real flow control |
+//! | `vstream-app` | the streaming strategies, players, session engine |
+//! | `vstream-capture` | the in-simulator tcpdump and pcap export |
+//! | `vstream-analysis` | ON/OFF cycles, phases, classification, statistics |
+//! | `vstream-workload` | datasets and the Table 1 application matrix |
+//! | `vstream-model` | §6 closed forms + Monte-Carlo validation |
+//! | `vstream` (this crate) | experiment runner: one function per figure/table |
+//!
+//! The [`figures`] module regenerates every figure and table of the paper's
+//! evaluation; the `vstream-bench` crate wraps them in Criterion benchmarks
+//! and a `repro` binary.
+
+pub mod figures;
+pub mod report;
+pub mod session;
+
+pub use session::{run_cell, CellOutcome};
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use crate::report::{FigureData, Series, TableData};
+    pub use crate::session::{run_cell, CellOutcome};
+    pub use vstream_analysis::{classify, AnalysisConfig, Cdf, SessionPhases, Strategy};
+    pub use vstream_app::{Video, PlayerStats};
+    pub use vstream_net::NetworkProfile;
+    pub use vstream_sim::{SimDuration, SimTime};
+    pub use vstream_workload::{Client, Container, Dataset, Service};
+}

@@ -1,0 +1,186 @@
+//! Running one streaming session for any Table 1 cell.
+
+use vstream_app::engine::Engine;
+use vstream_app::strategies::InterruptAfter;
+use vstream_app::{PlayerStats, Video};
+use vstream_capture::Trace;
+use vstream_net::NetworkProfile;
+use vstream_sim::SimDuration;
+use vstream_tcp::EndpointStats;
+use vstream_workload::{logic_for, Client, Container, StrategyLogic};
+
+/// Everything measured from one simulated streaming session.
+pub struct CellOutcome {
+    /// The packet capture taken at the client.
+    pub trace: Trace,
+    /// The strategy logic after the run (player stats, read counters).
+    pub logic: StrategyLogic,
+    /// Number of TCP connections the session opened.
+    pub connections: usize,
+    /// Per-connection endpoint statistics `(client, server)`.
+    pub connection_stats: Vec<(EndpointStats, EndpointStats)>,
+    /// The base round-trip time of the path (needed by the ack-clock
+    /// analysis).
+    pub base_rtt: SimDuration,
+}
+
+impl CellOutcome {
+    /// The player statistics.
+    pub fn player_stats(&self) -> PlayerStats {
+        self.logic.player().stats()
+    }
+
+    /// Sum of server-side retransmitted bytes across connections.
+    pub fn total_retx_bytes(&self) -> u64 {
+        self.connection_stats.iter().map(|(_, s)| s.retx_bytes).sum()
+    }
+}
+
+/// Streams `video` with the given client/container combination over
+/// `profile`, capturing for `capture` seconds (the paper used 180 s).
+///
+/// Returns `None` for inapplicable Table 1 cells (mobile clients have no
+/// Flash).
+pub fn run_cell(
+    client: Client,
+    container: Container,
+    video: Video,
+    profile: NetworkProfile,
+    seed: u64,
+    capture: SimDuration,
+) -> Option<CellOutcome> {
+    let logic = logic_for(client, container, video)?;
+    Some(finish(profile, seed, capture, logic, None))
+}
+
+/// Like [`run_cell`], but the viewer abandons the session after
+/// `watch_time` (§6.2 experiments).
+pub fn run_cell_interrupted(
+    client: Client,
+    container: Container,
+    video: Video,
+    profile: NetworkProfile,
+    seed: u64,
+    capture: SimDuration,
+    watch_time: SimDuration,
+) -> Option<CellOutcome> {
+    let logic = logic_for(client, container, video)?;
+    Some(finish(profile, seed, capture, logic, Some(watch_time)))
+}
+
+fn finish(
+    profile: NetworkProfile,
+    seed: u64,
+    capture: SimDuration,
+    logic: StrategyLogic,
+    watch_time: Option<SimDuration>,
+) -> CellOutcome {
+    let mut eng = Engine::new(profile.build_path(), seed, capture);
+    let logic = match watch_time {
+        Some(w) => {
+            let mut wrapped = InterruptAfter::new(logic, w);
+            eng.run(&mut wrapped);
+            wrapped.inner
+        }
+        None => {
+            let mut logic = logic;
+            eng.run(&mut logic);
+            logic
+        }
+    };
+    let connections = eng.connection_count();
+    let connection_stats = (0..connections).map(|c| eng.connection_stats(c)).collect();
+    let base_rtt = eng.base_rtt();
+    CellOutcome {
+        trace: eng.into_trace(),
+        logic,
+        connections,
+        connection_stats,
+        base_rtt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_analysis::{classify, AnalysisConfig, Strategy};
+
+    fn video() -> Video {
+        Video::new(1, 1_000_000, SimDuration::from_secs(600))
+    }
+
+    #[test]
+    fn run_cell_produces_trace_and_stats() {
+        let out = run_cell(
+            Client::Firefox,
+            Container::Flash,
+            video(),
+            NetworkProfile::Research,
+            1,
+            SimDuration::from_secs(60),
+        )
+        .unwrap();
+        assert!(!out.trace.is_empty());
+        assert_eq!(out.connections, 1);
+        assert!(out.logic.read_total() > 0);
+        assert_eq!(
+            classify(&out.trace, &AnalysisConfig::default()),
+            Strategy::ShortCycles
+        );
+    }
+
+    #[test]
+    fn inapplicable_cell_is_none() {
+        assert!(run_cell(
+            Client::Android,
+            Container::Flash,
+            video(),
+            NetworkProfile::Research,
+            1,
+            SimDuration::from_secs(10),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn interrupted_cell_stops_early() {
+        let full = run_cell(
+            Client::Firefox,
+            Container::Html5,
+            video(),
+            NetworkProfile::Research,
+            2,
+            SimDuration::from_secs(120),
+        )
+        .unwrap();
+        let cut = run_cell_interrupted(
+            Client::Firefox,
+            Container::Html5,
+            video(),
+            NetworkProfile::Research,
+            2,
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(3),
+        )
+        .unwrap();
+        assert!(cut.trace.total_downloaded() <= full.trace.total_downloaded());
+        assert!(cut.trace.duration() <= SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let out = run_cell(
+                Client::InternetExplorer,
+                Container::Html5,
+                video(),
+                NetworkProfile::Residence,
+                7,
+                SimDuration::from_secs(60),
+            )
+            .unwrap();
+            (out.trace.len(), out.logic.read_total())
+        };
+        assert_eq!(run(), run());
+    }
+}

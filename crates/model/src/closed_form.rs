@@ -1,0 +1,78 @@
+//! Equations (1)–(4): moments of the aggregate streaming rate.
+
+/// Mean aggregate data rate, Eq. (3): `E[R] = λ · E[e] · E[L]` — bits per
+/// second when `lambda` is sessions/second, `mean_encoding_bps` bits/second
+/// and `mean_duration_secs` seconds.
+///
+/// The paper assumes `e` and `L` independent (E[S] = E[e]·E[L]); pass the
+/// true `E[e·L]` as `mean_encoding_bps * mean_duration_secs` if they are
+/// correlated in your population.
+pub fn aggregate_mean_bps(lambda: f64, mean_encoding_bps: f64, mean_duration_secs: f64) -> f64 {
+    assert!(lambda >= 0.0 && mean_encoding_bps >= 0.0 && mean_duration_secs >= 0.0);
+    lambda * mean_encoding_bps * mean_duration_secs
+}
+
+/// Variance of the aggregate rate for constant-rate downloads, Eq. (4):
+/// `V_R = λ · E[e] · E[L] · E[G]` (bits²/s²).
+///
+/// §6.1 shows the same value holds for ON-OFF strategies whose ON-rate is
+/// `G`: pausing a transfer stretches it in time without changing
+/// `∫ X²(u) du`.
+pub fn aggregate_variance(
+    lambda: f64,
+    mean_encoding_bps: f64,
+    mean_duration_secs: f64,
+    mean_download_rate_bps: f64,
+) -> f64 {
+    assert!(mean_download_rate_bps >= 0.0);
+    lambda * mean_encoding_bps * mean_duration_secs * mean_download_rate_bps
+}
+
+/// The link-dimensioning rule of §6.1: `E[R] + α·√V_R`, where `α ≥ 1`
+/// controls tolerable bandwidth violations.
+pub fn provisioned_capacity(mean_bps: f64, variance: f64, alpha: f64) -> f64 {
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    assert!(variance >= 0.0, "variance must be non-negative");
+    mean_bps + alpha * variance.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_lambda_times_size() {
+        // 2 sessions/s x 1 Mbps x 300 s = 600 Mbps of aggregate traffic.
+        let m = aggregate_mean_bps(2.0, 1e6, 300.0);
+        assert_eq!(m, 600e6);
+    }
+
+    #[test]
+    fn variance_scales_linearly_in_encoding_rate() {
+        // §6.1 point 3: doubling the encoding rate doubles mean AND
+        // variance, so the coefficient of variation sqrt(V)/E shrinks —
+        // higher-rate traffic is *smoother*.
+        let (lambda, dur, g) = (1.0, 240.0, 10e6);
+        let m1 = aggregate_mean_bps(lambda, 1e6, dur);
+        let v1 = aggregate_variance(lambda, 1e6, dur, g);
+        let m2 = aggregate_mean_bps(lambda, 2e6, dur);
+        let v2 = aggregate_variance(lambda, 2e6, dur, g);
+        assert_eq!(m2, 2.0 * m1);
+        assert_eq!(v2, 2.0 * v1);
+        let cv1 = v1.sqrt() / m1;
+        let cv2 = v2.sqrt() / m2;
+        assert!(cv2 < cv1, "higher encoding rate must smooth the aggregate");
+    }
+
+    #[test]
+    fn provisioning_adds_alpha_sigma() {
+        let capacity = provisioned_capacity(100e6, 25e12, 2.0);
+        assert_eq!(capacity, 100e6 + 2.0 * 5e6);
+    }
+
+    #[test]
+    fn zero_rate_population_is_degenerate() {
+        assert_eq!(aggregate_mean_bps(5.0, 0.0, 100.0), 0.0);
+        assert_eq!(aggregate_variance(5.0, 0.0, 100.0, 1e6), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! A bidirectional end-to-end path between a client and a server.
+
+use vstream_sim::{SimRng, SimTime};
+
+use crate::link::{Link, LinkConfig, LinkStats};
+use crate::packet::{Verdict, Wire};
+
+/// Direction of travel on a [`DuplexPath`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Server to client (the video content direction).
+    Down,
+    /// Client to server (requests and ACKs).
+    Up,
+}
+
+/// Two independent [`Link`]s forming a full-duplex path.
+///
+/// The downlink carries video data, the uplink carries requests and ACKs.
+/// Asymmetric configurations (ADSL, cable) give the two directions different
+/// rates, as on the paper's Residence and Home networks.
+pub struct DuplexPath {
+    down: Link,
+    up: Link,
+}
+
+impl DuplexPath {
+    /// Builds a path from per-direction link configurations.
+    pub fn new(down: LinkConfig, up: LinkConfig) -> Self {
+        DuplexPath {
+            down: Link::new(down),
+            up: Link::new(up),
+        }
+    }
+
+    /// Offers a packet in the given direction.
+    pub fn send<P: Wire>(&mut self, dir: Direction, now: SimTime, packet: &P, rng: &mut SimRng) -> Verdict {
+        match dir {
+            Direction::Down => self.down.send(now, packet, rng),
+            Direction::Up => self.up.send(now, packet, rng),
+        }
+    }
+
+    /// Occupies the given direction's transmitter with competing traffic.
+    pub fn occupy(&mut self, dir: Direction, now: SimTime, bytes: u64) {
+        match dir {
+            Direction::Down => self.down.occupy(now, bytes),
+            Direction::Up => self.up.occupy(now, bytes),
+        }
+    }
+
+    /// The link carrying the given direction.
+    pub fn link(&self, dir: Direction) -> &Link {
+        match dir {
+            Direction::Down => &self.down,
+            Direction::Up => &self.up,
+        }
+    }
+
+    /// Round-trip propagation delay (down + up), excluding serialization.
+    pub fn base_rtt(&self) -> vstream_sim::SimDuration {
+        self.down.config().propagation + self.up.config().propagation
+    }
+
+    /// Combined delivery statistics: `(down, up)`.
+    pub fn stats(&self) -> (LinkStats, LinkStats) {
+        (self.down.stats(), self.up.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_sim::SimDuration;
+
+    struct Pkt(u32);
+    impl Wire for Pkt {
+        fn wire_len(&self) -> u32 {
+            self.0
+        }
+    }
+
+    fn asymmetric_path() -> DuplexPath {
+        DuplexPath::new(
+            LinkConfig::new(8_000_000, SimDuration::from_millis(10)),
+            LinkConfig::new(1_000_000, SimDuration::from_millis(10)),
+        )
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut path = asymmetric_path();
+        let mut rng = SimRng::new(1);
+        let t = SimTime::from_secs(1);
+        // Saturate the downlink; the uplink must stay idle.
+        for _ in 0..10 {
+            path.send(Direction::Down, t, &Pkt(1000), &mut rng);
+        }
+        assert!(path.link(Direction::Up).is_idle(t));
+        assert!(!path.link(Direction::Down).is_idle(t));
+    }
+
+    #[test]
+    fn asymmetric_rates_apply() {
+        let mut path = asymmetric_path();
+        let mut rng = SimRng::new(2);
+        let t = SimTime::from_secs(1);
+        let down = path.send(Direction::Down, t, &Pkt(1000), &mut rng).delivery_time().unwrap();
+        let up = path.send(Direction::Up, t, &Pkt(1000), &mut rng).delivery_time().unwrap();
+        // 1000 B: 1 ms at 8 Mbps, 8 ms at 1 Mbps; both plus 10 ms propagation.
+        assert_eq!(down, t + SimDuration::from_millis(11));
+        assert_eq!(up, t + SimDuration::from_millis(18));
+    }
+
+    #[test]
+    fn base_rtt_sums_propagation() {
+        let path = asymmetric_path();
+        assert_eq!(path.base_rtt(), SimDuration::from_millis(20));
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation engine for the `vstream` workspace.
+//!
+//! This crate provides the three primitives every other crate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated clock types.
+//! * [`EventQueue`] — a monotonic priority queue with deterministic FIFO
+//!   ordering for events scheduled at the same instant.
+//! * [`SimRng`] — a seedable random number generator with the distribution
+//!   samplers used by the workload generators (exponential, normal,
+//!   log-normal, Pareto).
+//!
+//! The engine is intentionally synchronous and single-threaded: the simulated
+//! workload is CPU-bound and must be bit-for-bit reproducible from a single
+//! `u64` seed, so an async runtime or thread pool would only add
+//! non-determinism. Components (links, TCP endpoints, applications) are
+//! written as passive state machines that are driven by an orchestration loop
+//! (see `vstream-app::session`), in the style of event-driven network stacks
+//! such as smoltcp.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

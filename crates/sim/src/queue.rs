@@ -1,0 +1,214 @@
+//! The simulation event queue.
+//!
+//! [`EventQueue`] is a priority queue keyed on [`SimTime`] with one extra
+//! guarantee that a plain binary heap does not give: events scheduled for the
+//! *same* instant are delivered in the order they were scheduled. Without
+//! this, simultaneous events (e.g. a data segment and an ACK crossing at the
+//! same nanosecond) would be delivered in an unspecified order, and the
+//! simulation would no longer be reproducible from its seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pair
+        // is popped first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events are popped in non-decreasing time order; ties are broken by
+/// insertion order (FIFO). The queue also tracks the time of the last popped
+/// event and refuses to schedule into the past, which turns subtle causality
+/// bugs into immediate panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the current simulated
+    /// time).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current simulated time: an event
+    /// scheduled in the past can never fire and always indicates a bug in the
+    /// caller.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "schedule: event at {at} is in the past (now = {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest pending event and advances the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), 'x');
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(7));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    proptest! {
+        /// Whatever the scheduling order, pops come out sorted by time, and
+        /// equal-time events keep their insertion order.
+        #[test]
+        fn prop_pops_sorted_and_stable(offsets in prop::collection::vec(0u64..100, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &off) in offsets.iter().enumerate() {
+                q.schedule(SimTime::ZERO + SimDuration::from_millis(off), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(idx > lidx, "FIFO violated for simultaneous events");
+                    }
+                }
+                last = Some((t, idx));
+            }
+        }
+    }
+}

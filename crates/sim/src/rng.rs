@@ -1,0 +1,268 @@
+//! Seedable randomness for reproducible experiments.
+//!
+//! Every random decision in the workspace — packet loss, video catalogue
+//! sampling, Poisson arrivals — flows through a [`SimRng`] derived from a
+//! single experiment seed, so a run is fully determined by
+//! `(code, seed, parameters)`.
+//!
+//! Besides wrapping [`rand::rngs::StdRng`], this module implements the
+//! inverse-CDF / Box-Muller samplers the workload generators need. They are
+//! written out explicitly (rather than pulled from a distributions crate) so
+//! their behaviour is pinned by our own unit tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator.
+///
+/// Cloning is intentionally not provided: accidentally reusing the same
+/// stream in two components correlates their randomness. Use [`SimRng::fork`]
+/// to derive an independent child generator instead.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's seed is drawn from this generator's stream, so forking is
+    /// itself deterministic.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.next_u64())
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "uniform_range: bad bounds [{lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform_u64: bad bounds [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial: true with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "bernoulli: p = {p} outside [0, 1]");
+        if p == 0.0 {
+            false
+        } else if p == 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Exponential draw with rate `lambda` (mean `1 / lambda`), via inverse
+    /// CDF.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not strictly positive.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0 && lambda.is_finite(), "exponential: lambda = {lambda} must be positive");
+        // 1 - U is in (0, 1]; ln of it is finite and non-positive.
+        -(1.0 - self.uniform()).ln() / lambda
+    }
+
+    /// Standard normal draw via the Box-Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by shifting U into (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "normal: std_dev = {std_dev} must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal draw: `exp(N(mu, sigma))`.
+    ///
+    /// Note that `mu`/`sigma` parameterize the underlying normal, not the
+    /// mean of the log-normal itself.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto draw with scale `x_min` and shape `alpha`, via inverse CDF.
+    ///
+    /// # Panics
+    /// Panics if `x_min` or `alpha` is not strictly positive.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0, "pareto: x_min = {x_min} must be positive");
+        assert!(alpha > 0.0, "pareto: alpha = {alpha} must be positive");
+        let u = 1.0 - self.uniform(); // in (0, 1]
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Chooses an index in `[0, len)` uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn choose_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "choose_index: empty collection");
+        self.inner.gen_range(0..len)
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let draws_a: Vec<u64> = (0..8).map(|_| a.uniform().to_bits()).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| b.uniform().to_bits()).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let mut child1 = parent1.fork();
+        let mut child2 = parent2.fork();
+        assert_eq!(child1.uniform().to_bits(), child2.uniform().to_bits());
+        // Parent stream continues identically after the fork.
+        assert_eq!(parent1.uniform().to_bits(), parent2.uniform().to_bits());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!((0..100).all(|_| !rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close_to_p() {
+        let mut rng = SimRng::new(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = SimRng::new(11);
+        let lambda = 2.5;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / lambda).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SimRng::new(13);
+        assert!((0..10_000).all(|_| rng.exponential(0.1) > 0.0));
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = SimRng::new(17);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::new(19);
+        assert!((0..10_000).all(|_| rng.pareto(3.0, 1.5) >= 3.0));
+    }
+
+    #[test]
+    fn pareto_median_matches_closed_form() {
+        // Median of Pareto(x_min, alpha) is x_min * 2^(1/alpha).
+        let mut rng = SimRng::new(23);
+        let n = 100_001;
+        let mut draws: Vec<f64> = (0..n).map(|_| rng.pareto(1.0, 2.0)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[n / 2];
+        let expected = 2f64.powf(0.5);
+        assert!((median - expected).abs() < 0.02, "median = {median}");
+    }
+
+    #[test]
+    fn uniform_range_degenerate() {
+        let mut rng = SimRng::new(29);
+        assert_eq!(rng.uniform_range(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::new(31);
+        for _ in 0..10_000 {
+            let x = rng.uniform_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_index_covers_all() {
+        let mut rng = SimRng::new(37);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.choose_index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bernoulli_rejects_bad_p() {
+        SimRng::new(0).bernoulli(1.5);
+    }
+}

@@ -1,0 +1,372 @@
+//! Reno congestion control with NewReno-style recovery.
+//!
+//! The controller is a pure state machine over byte counts — it never touches
+//! segments or timers — which makes every transition unit-testable. The
+//! [`crate::Endpoint`] feeds it ACK events and asks it for the current
+//! congestion window.
+
+/// Outcome of processing a cumulative ACK that advanced `snd_una`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NewAckOutcome {
+    /// Normal ACK outside loss recovery.
+    Normal,
+    /// ACK covered everything outstanding at the time recovery started;
+    /// recovery is over.
+    RecoveryComplete,
+    /// Partial ACK inside recovery: the next hole should be retransmitted
+    /// immediately (NewReno).
+    RecoveryPartial,
+}
+
+/// Reno congestion controller.
+#[derive(Clone, Debug)]
+pub struct CongestionController {
+    mss: u64,
+    initial_cwnd: u64,
+    max_cwnd: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    /// Highest sequence sent when the current recovery started; recovery ends
+    /// once the cumulative ACK passes this point.
+    recover: u64,
+    /// True when the endpoint negotiated SACK. With SACK, recovery is
+    /// governed by the RFC 6675 pipe estimate, so the classic Reno window
+    /// inflation (one MSS per duplicate ACK) must be disabled — applying
+    /// both would double-count every departure and blow the window up.
+    sack_mode: bool,
+}
+
+impl CongestionController {
+    /// Creates a controller in slow start with the given initial window.
+    pub fn new(mss: u32, initial_cwnd_segments: u32, max_cwnd: u64) -> Self {
+        let mss = mss as u64;
+        let initial_cwnd = mss * initial_cwnd_segments as u64;
+        CongestionController {
+            mss,
+            initial_cwnd,
+            max_cwnd,
+            cwnd: initial_cwnd,
+            ssthresh: u64::MAX,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            sack_mode: false,
+        }
+    }
+
+    /// Switches recovery to SACK (RFC 6675) conventions: no dupACK window
+    /// inflation, recovery entered at `ssthresh` exactly.
+    pub fn set_sack_mode(&mut self, on: bool) {
+        self.sack_mode = on;
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// True while in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// True while in slow start (cwnd below ssthresh and not recovering).
+    pub fn in_slow_start(&self) -> bool {
+        !self.in_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// Processes a cumulative ACK that acknowledged `newly_acked` new bytes,
+    /// up to sequence `ack_no`.
+    ///
+    /// `cwnd_limited` must be true if the sender was actually using the whole
+    /// congestion window before this ACK; an application-limited sender must
+    /// not grow its window (RFC 2861 spirit).
+    pub fn on_new_ack(&mut self, newly_acked: u64, ack_no: u64, cwnd_limited: bool) -> NewAckOutcome {
+        self.dup_acks = 0;
+        if self.in_recovery {
+            if ack_no >= self.recover {
+                // Full ACK: deflate back to ssthresh and resume avoidance.
+                self.in_recovery = false;
+                self.cwnd = self.ssthresh.max(self.mss);
+                NewAckOutcome::RecoveryComplete
+            } else if self.sack_mode {
+                // RFC 6675: the window holds at ssthresh for the whole
+                // recovery episode; the pipe estimate regulates sending.
+                NewAckOutcome::RecoveryPartial
+            } else {
+                // Partial ACK: deflate by the amount acked, re-inflate by one
+                // MSS for the retransmission we are about to make (RFC 6582).
+                self.cwnd = self.cwnd.saturating_sub(newly_acked).max(self.mss) + self.mss;
+                NewAckOutcome::RecoveryPartial
+            }
+        } else {
+            if cwnd_limited {
+                if self.cwnd < self.ssthresh {
+                    // Slow start with appropriate byte counting (ABC, L=1).
+                    self.cwnd += newly_acked.min(self.mss);
+                } else {
+                    // Congestion avoidance: ~one MSS per RTT.
+                    self.cwnd += (self.mss * self.mss / self.cwnd).max(1);
+                }
+                self.cwnd = self.cwnd.min(self.max_cwnd);
+            }
+            NewAckOutcome::Normal
+        }
+    }
+
+    /// Processes a duplicate ACK.
+    ///
+    /// Returns true exactly when the third duplicate arrives outside
+    /// recovery, i.e. when the caller must fast-retransmit the first
+    /// outstanding segment. `flight` is the number of bytes outstanding,
+    /// `snd_max` the highest sequence sent so far.
+    pub fn on_duplicate_ack(&mut self, flight: u64, snd_max: u64) -> bool {
+        if self.in_recovery {
+            // Non-SACK Reno inflates the window by one MSS per dupACK (each
+            // signals a departure). With SACK the pipe estimate accounts for
+            // departures directly, so inflation would double-count.
+            if !self.sack_mode {
+                self.cwnd = (self.cwnd + self.mss).min(self.max_cwnd);
+            }
+            return false;
+        }
+        self.dup_acks += 1;
+        if self.dup_acks == 3 {
+            self.ssthresh = (flight / 2).max(2 * self.mss);
+            self.cwnd = if self.sack_mode {
+                self.ssthresh
+            } else {
+                self.ssthresh + 3 * self.mss
+            };
+            self.in_recovery = true;
+            self.recover = snd_max;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Processes a retransmission timeout: collapse to one MSS and restart
+    /// slow start.
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+    }
+
+    /// Applies the RFC 5681 §4.1 idle restart: cwnd falls back to the
+    /// restart window. Only called by the endpoint when
+    /// [`crate::TcpConfig::idle_cwnd_reset`] is enabled.
+    pub fn idle_restart(&mut self) {
+        self.cwnd = self.cwnd.min(self.initial_cwnd);
+        self.dup_acks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1460;
+
+    fn cc() -> CongestionController {
+        CongestionController::new(1460, 4, 16 * 1024 * 1024)
+    }
+
+    #[test]
+    fn starts_in_slow_start_with_initial_window() {
+        let c = cc();
+        assert_eq!(c.cwnd(), 4 * MSS);
+        assert!(c.in_slow_start());
+        assert!(!c.in_recovery());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut c = cc();
+        let start = c.cwnd();
+        // ACK a full window's worth in MSS chunks.
+        let acks = start / MSS;
+        for _ in 0..acks {
+            c.on_new_ack(MSS, 0, true);
+        }
+        assert_eq!(c.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_one_mss_per_rtt() {
+        let mut c = cc();
+        // Force out of slow start.
+        c.on_duplicate_ack(20 * MSS, 100 * MSS);
+        c.on_duplicate_ack(20 * MSS, 100 * MSS);
+        c.on_duplicate_ack(20 * MSS, 100 * MSS);
+        c.on_new_ack(MSS, 200 * MSS, true); // completes recovery
+        assert!(!c.in_slow_start());
+        let w = c.cwnd();
+        let acks = w / MSS;
+        for _ in 0..acks {
+            c.on_new_ack(MSS, 300 * MSS, true);
+        }
+        let grown = c.cwnd() - w;
+        // Congestion avoidance adds mss^2/cwnd per ACK; over one window this
+        // sums to slightly less than a full MSS because cwnd grows as it
+        // goes. Accept [0.9 MSS, MSS + acks].
+        assert!(
+            grown >= MSS * 9 / 10 && grown <= MSS + acks,
+            "grew {grown} bytes over one RTT"
+        );
+    }
+
+    #[test]
+    fn app_limited_sender_does_not_grow() {
+        let mut c = cc();
+        let w = c.cwnd();
+        for _ in 0..50 {
+            c.on_new_ack(MSS, 0, false);
+        }
+        assert_eq!(c.cwnd(), w);
+    }
+
+    #[test]
+    fn third_dupack_triggers_fast_retransmit() {
+        let mut c = cc();
+        let flight = 10 * MSS;
+        assert!(!c.on_duplicate_ack(flight, flight));
+        assert!(!c.on_duplicate_ack(flight, flight));
+        assert!(c.on_duplicate_ack(flight, flight));
+        assert!(c.in_recovery());
+        assert_eq!(c.ssthresh(), 5 * MSS);
+        assert_eq!(c.cwnd(), 5 * MSS + 3 * MSS);
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut c = cc();
+        for _ in 0..3 {
+            c.on_duplicate_ack(MSS, MSS);
+        }
+        assert_eq!(c.ssthresh(), 2 * MSS);
+    }
+
+    #[test]
+    fn recovery_inflates_on_further_dupacks() {
+        let mut c = cc();
+        for _ in 0..3 {
+            c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        }
+        let w = c.cwnd();
+        c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        assert_eq!(c.cwnd(), w + MSS);
+    }
+
+    #[test]
+    fn partial_ack_stays_in_recovery() {
+        let mut c = cc();
+        for _ in 0..3 {
+            c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        }
+        let outcome = c.on_new_ack(2 * MSS, 5 * MSS, true);
+        assert_eq!(outcome, NewAckOutcome::RecoveryPartial);
+        assert!(c.in_recovery());
+    }
+
+    #[test]
+    fn full_ack_completes_recovery_and_deflates() {
+        let mut c = cc();
+        for _ in 0..3 {
+            c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        }
+        let outcome = c.on_new_ack(10 * MSS, 10 * MSS, true);
+        assert_eq!(outcome, NewAckOutcome::RecoveryComplete);
+        assert!(!c.in_recovery());
+        assert_eq!(c.cwnd(), c.ssthresh());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut c = cc();
+        for _ in 0..20 {
+            c.on_new_ack(MSS, 0, true);
+        }
+        c.on_timeout(12 * MSS);
+        assert_eq!(c.cwnd(), MSS);
+        assert_eq!(c.ssthresh(), 6 * MSS);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn idle_restart_caps_at_initial_window() {
+        let mut c = cc();
+        for _ in 0..100 {
+            c.on_new_ack(MSS, 0, true);
+        }
+        assert!(c.cwnd() > 4 * MSS);
+        c.idle_restart();
+        assert_eq!(c.cwnd(), 4 * MSS);
+        // A small cwnd is not inflated by idle restart.
+        c.on_timeout(10 * MSS);
+        c.idle_restart();
+        assert_eq!(c.cwnd(), MSS);
+    }
+
+    #[test]
+    fn cwnd_never_exceeds_cap() {
+        let mut c = CongestionController::new(1460, 4, 10 * 1460);
+        for _ in 0..1000 {
+            c.on_new_ack(MSS, 0, true);
+        }
+        assert_eq!(c.cwnd(), 10 * 1460);
+    }
+
+    #[test]
+    fn sack_mode_holds_cwnd_through_partial_acks() {
+        let mut c = cc();
+        c.set_sack_mode(true);
+        for _ in 0..3 {
+            c.on_duplicate_ack(100 * MSS, 100 * MSS);
+        }
+        let w = c.cwnd();
+        // Large partial ACKs must not deflate the window.
+        for _ in 0..10 {
+            let out = c.on_new_ack(20 * MSS, 50 * MSS, true);
+            assert_eq!(out, NewAckOutcome::RecoveryPartial);
+        }
+        assert_eq!(c.cwnd(), w);
+    }
+
+    #[test]
+    fn sack_mode_disables_inflation() {
+        let mut c = cc();
+        c.set_sack_mode(true);
+        for _ in 0..3 {
+            c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        }
+        assert!(c.in_recovery());
+        assert_eq!(c.cwnd(), c.ssthresh(), "entry at ssthresh, no +3 MSS");
+        let w = c.cwnd();
+        for _ in 0..100 {
+            c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        }
+        assert_eq!(c.cwnd(), w, "dupACK inflation must be off with SACK");
+    }
+
+    #[test]
+    fn dupack_count_resets_on_new_ack() {
+        let mut c = cc();
+        c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        c.on_duplicate_ack(10 * MSS, 10 * MSS);
+        c.on_new_ack(MSS, 0, true);
+        // Two more dupACKs do not trigger (count restarted).
+        assert!(!c.on_duplicate_ack(10 * MSS, 10 * MSS));
+        assert!(!c.on_duplicate_ack(10 * MSS, 10 * MSS));
+        assert!(c.on_duplicate_ack(10 * MSS, 10 * MSS));
+    }
+}

@@ -1,0 +1,152 @@
+//! TCP endpoint configuration.
+
+use vstream_sim::SimDuration;
+
+use crate::congestion::CcAlgorithm;
+
+/// Tunables of a TCP [`crate::Endpoint`].
+///
+/// Defaults model a 2011-era server stack: MSS 1460, initial window of 4
+/// segments (between the classic IW3 and Google's IW10 rollout of that year),
+/// 200 ms minimum RTO (Linux), and — crucially for Fig. 9 of the paper — *no*
+/// congestion-window reset after idle periods.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: u32,
+    /// Initial congestion window, in segments.
+    pub initial_cwnd_segments: u32,
+    /// Congestion window ceiling in bytes (stands in for the send-buffer
+    /// autotuning limit of a real stack).
+    pub max_cwnd: u64,
+    /// Receive buffer capacity in bytes; the advertised window can never
+    /// exceed this. Window scaling is assumed negotiated, so the full value
+    /// is advertised.
+    pub recv_buffer: u64,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Upper bound on the retransmission timeout (with backoff).
+    pub max_rto: SimDuration,
+    /// If true, apply RFC 5681 §4.1: collapse cwnd back to the initial window
+    /// after the connection has been idle for one RTO. The paper's traces
+    /// show streaming servers did not do this; the ablation bench flips it.
+    pub idle_cwnd_reset: bool,
+    /// Negotiate selective acknowledgements (RFC 2018/6675). All 2011-era
+    /// stacks did; disabling it degrades loss recovery to NewReno's one hole
+    /// per round trip, which the recovery ablation bench quantifies.
+    pub sack: bool,
+    /// Congestion-control algorithm (Reno default; CUBIC for the ablation).
+    pub congestion: CcAlgorithm,
+    /// RFC 1122 delayed acknowledgements: ACK every second in-order data
+    /// segment, or after [`TcpConfig::delack_timeout`]. Off by default —
+    /// per-segment ACKs make traces easier to reason about and none of the
+    /// paper's metrics depend on ACK cadence — but available for realism
+    /// studies.
+    pub delayed_ack: bool,
+    /// Delayed-ACK timeout (RFC 1122 caps it at 500 ms; stacks use ~40 ms).
+    pub delack_timeout: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            initial_cwnd_segments: 4,
+            max_cwnd: 16 * 1024 * 1024,
+            recv_buffer: 256 * 1024,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            idle_cwnd_reset: false,
+            sack: true,
+            congestion: CcAlgorithm::Reno,
+            delayed_ack: false,
+            delack_timeout: SimDuration::from_millis(40),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Initial congestion window in bytes.
+    pub fn initial_cwnd(&self) -> u64 {
+        self.initial_cwnd_segments as u64 * self.mss as u64
+    }
+
+    /// Replaces the receive-buffer capacity.
+    pub fn with_recv_buffer(mut self, bytes: u64) -> Self {
+        self.recv_buffer = bytes;
+        self
+    }
+
+    /// Enables or disables the RFC 5681 idle-restart behaviour.
+    pub fn with_idle_cwnd_reset(mut self, on: bool) -> Self {
+        self.idle_cwnd_reset = on;
+        self
+    }
+
+    /// Enables or disables SACK.
+    pub fn with_sack(mut self, on: bool) -> Self {
+        self.sack = on;
+        self
+    }
+
+    /// Selects the congestion-control algorithm.
+    pub fn with_congestion(mut self, algorithm: CcAlgorithm) -> Self {
+        self.congestion = algorithm;
+        self
+    }
+
+    /// Enables or disables delayed acknowledgements.
+    pub fn with_delayed_ack(mut self, on: bool) -> Self {
+        self.delayed_ack = on;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if any invariant is violated (zero MSS, zero window, inverted
+    /// RTO bounds).
+    pub fn validate(&self) {
+        assert!(self.mss > 0, "mss must be positive");
+        assert!(self.initial_cwnd_segments > 0, "initial cwnd must be positive");
+        assert!(self.max_cwnd >= self.mss as u64, "max_cwnd below one MSS");
+        assert!(self.recv_buffer >= self.mss as u64, "recv_buffer below one MSS");
+        assert!(self.min_rto <= self.max_rto, "min_rto exceeds max_rto");
+        assert!(!self.min_rto.is_zero(), "min_rto must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TcpConfig::default().validate();
+    }
+
+    #[test]
+    fn default_matches_2011_stack() {
+        let cfg = TcpConfig::default();
+        assert_eq!(cfg.mss, 1460);
+        assert_eq!(cfg.initial_cwnd(), 4 * 1460);
+        assert!(!cfg.idle_cwnd_reset);
+        assert!(cfg.sack);
+        assert_eq!(cfg.min_rto, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = TcpConfig::default()
+            .with_recv_buffer(1 << 20)
+            .with_idle_cwnd_reset(true);
+        assert_eq!(cfg.recv_buffer, 1 << 20);
+        assert!(cfg.idle_cwnd_reset);
+    }
+
+    #[test]
+    #[should_panic(expected = "recv_buffer below one MSS")]
+    fn validate_rejects_tiny_recv_buffer() {
+        TcpConfig::default().with_recv_buffer(100).validate();
+    }
+}

@@ -1,0 +1,163 @@
+//! Congestion-controller dispatch.
+//!
+//! The endpoint talks to a [`Congestion`] enum so that the algorithm is a
+//! per-connection configuration choice ([`crate::TcpConfig::congestion`])
+//! with zero dynamic dispatch. Reno is the default (it is what the
+//! workspace's vantage-point calibration assumes); CUBIC — the actual 2011
+//! Linux default — is provided for the congestion-control ablation, which
+//! confirms that the paper's ON-OFF traffic structure is application-driven
+//! and survives a controller swap.
+
+use vstream_sim::SimTime;
+
+use crate::cc::{CongestionController, NewAckOutcome};
+use crate::cubic::CubicController;
+
+/// Which congestion-control algorithm a connection runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CcAlgorithm {
+    /// Reno with NewReno recovery.
+    #[default]
+    Reno,
+    /// CUBIC (RFC 8312, simplified).
+    Cubic,
+}
+
+/// A configured congestion controller.
+#[derive(Clone, Debug)]
+pub enum Congestion {
+    /// Reno/NewReno.
+    Reno(CongestionController),
+    /// CUBIC.
+    Cubic(CubicController),
+}
+
+impl Congestion {
+    /// Creates the controller selected by `algorithm`.
+    pub fn new(algorithm: CcAlgorithm, mss: u32, initial_cwnd_segments: u32, max_cwnd: u64) -> Self {
+        match algorithm {
+            CcAlgorithm::Reno => {
+                Congestion::Reno(CongestionController::new(mss, initial_cwnd_segments, max_cwnd))
+            }
+            CcAlgorithm::Cubic => {
+                Congestion::Cubic(CubicController::new(mss, initial_cwnd_segments, max_cwnd))
+            }
+        }
+    }
+
+    /// See [`CongestionController::set_sack_mode`].
+    pub fn set_sack_mode(&mut self, on: bool) {
+        match self {
+            Congestion::Reno(c) => c.set_sack_mode(on),
+            Congestion::Cubic(c) => c.set_sack_mode(on),
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        match self {
+            Congestion::Reno(c) => c.cwnd(),
+            Congestion::Cubic(c) => c.cwnd(),
+        }
+    }
+
+    /// Current slow-start threshold.
+    pub fn ssthresh(&self) -> u64 {
+        match self {
+            Congestion::Reno(c) => c.ssthresh(),
+            Congestion::Cubic(c) => c.ssthresh(),
+        }
+    }
+
+    /// True while in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        match self {
+            Congestion::Reno(c) => c.in_recovery(),
+            Congestion::Cubic(c) => c.in_recovery(),
+        }
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        match self {
+            Congestion::Reno(c) => c.in_slow_start(),
+            Congestion::Cubic(c) => c.in_slow_start(),
+        }
+    }
+
+    /// See [`CongestionController::on_new_ack`].
+    pub fn on_new_ack(
+        &mut self,
+        now: SimTime,
+        newly_acked: u64,
+        ack_no: u64,
+        cwnd_limited: bool,
+    ) -> NewAckOutcome {
+        match self {
+            Congestion::Reno(c) => c.on_new_ack(newly_acked, ack_no, cwnd_limited),
+            Congestion::Cubic(c) => c.on_new_ack(now, newly_acked, ack_no, cwnd_limited),
+        }
+    }
+
+    /// See [`CongestionController::on_duplicate_ack`].
+    pub fn on_duplicate_ack(&mut self, now: SimTime, flight: u64, snd_max: u64) -> bool {
+        match self {
+            Congestion::Reno(c) => c.on_duplicate_ack(flight, snd_max),
+            Congestion::Cubic(c) => c.on_duplicate_ack(now, flight, snd_max),
+        }
+    }
+
+    /// See [`CongestionController::on_timeout`].
+    pub fn on_timeout(&mut self, flight: u64) {
+        match self {
+            Congestion::Reno(c) => c.on_timeout(flight),
+            Congestion::Cubic(c) => c.on_timeout(flight),
+        }
+    }
+
+    /// See [`CongestionController::idle_restart`].
+    pub fn idle_restart(&mut self) {
+        match self {
+            Congestion::Reno(c) => c.idle_restart(),
+            Congestion::Cubic(c) => c.idle_restart(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_algorithm_is_reno() {
+        assert_eq!(CcAlgorithm::default(), CcAlgorithm::Reno);
+    }
+
+    #[test]
+    fn dispatch_constructs_both() {
+        let reno = Congestion::new(CcAlgorithm::Reno, 1460, 4, 1 << 20);
+        let cubic = Congestion::new(CcAlgorithm::Cubic, 1460, 4, 1 << 20);
+        assert_eq!(reno.cwnd(), 4 * 1460);
+        assert_eq!(cubic.cwnd(), 4 * 1460);
+        assert!(matches!(reno, Congestion::Reno(_)));
+        assert!(matches!(cubic, Congestion::Cubic(_)));
+    }
+
+    #[test]
+    fn dispatch_forwards_events() {
+        for algo in [CcAlgorithm::Reno, CcAlgorithm::Cubic] {
+            let mut c = Congestion::new(algo, 1460, 4, 1 << 20);
+            let t = SimTime::from_secs(1);
+            for _ in 0..10 {
+                c.on_new_ack(t, 1460, 0, true);
+            }
+            assert!(c.cwnd() > 4 * 1460, "{algo:?} did not grow");
+            for _ in 0..3 {
+                c.on_duplicate_ack(t, 10 * 1460, 10 * 1460);
+            }
+            assert!(c.in_recovery(), "{algo:?} did not enter recovery");
+            c.on_timeout(10 * 1460);
+            assert_eq!(c.cwnd(), 1460, "{algo:?} timeout");
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! CUBIC congestion control (RFC 8312, simplified).
+//!
+//! 2011-era Linux servers defaulted to CUBIC, so the workspace provides it
+//! alongside Reno for ablation: the streaming strategies in the paper are
+//! application-driven, and the ablation bench confirms that swapping the
+//! congestion controller does not change the ON-OFF traffic structure —
+//! only the shape of the ramp inside each ON burst.
+//!
+//! Simplifications relative to RFC 8312, chosen because the streaming
+//! workloads never exercise them: no TCP-friendly region (it needs an RTT
+//! estimate inside the controller and only matters on long-lived
+//! loss-limited flows sharing a bottleneck with Reno), and no fast
+//! convergence heuristic.
+
+use vstream_sim::SimTime;
+
+use crate::cc::NewAckOutcome;
+
+/// CUBIC's scaling constant, in MSS/s³ (RFC 8312 recommends 0.4).
+const C: f64 = 0.4;
+/// Multiplicative decrease factor (RFC 8312: 0.7).
+const BETA: f64 = 0.7;
+
+/// CUBIC congestion controller.
+#[derive(Clone, Debug)]
+pub struct CubicController {
+    mss: u64,
+    initial_cwnd: u64,
+    max_cwnd: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    sack_mode: bool,
+    /// Window (bytes) just before the last loss event.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// cwnd at the start of the epoch, in bytes.
+    epoch_cwnd: f64,
+}
+
+impl CubicController {
+    /// Creates a controller in slow start with the given initial window.
+    pub fn new(mss: u32, initial_cwnd_segments: u32, max_cwnd: u64) -> Self {
+        let mss = mss as u64;
+        let initial_cwnd = mss * initial_cwnd_segments as u64;
+        CubicController {
+            mss,
+            initial_cwnd,
+            max_cwnd,
+            cwnd: initial_cwnd,
+            ssthresh: u64::MAX,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            sack_mode: false,
+            w_max: initial_cwnd as f64,
+            epoch_start: None,
+            epoch_cwnd: initial_cwnd as f64,
+        }
+    }
+
+    /// Switches recovery to SACK conventions (see
+    /// [`crate::CongestionController::set_sack_mode`]).
+    pub fn set_sack_mode(&mut self, on: bool) {
+        self.sack_mode = on;
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// True while in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        !self.in_recovery && self.cwnd < self.ssthresh
+    }
+
+    /// The cubic window function W(t), in bytes.
+    fn w_cubic(&self, t_secs: f64) -> f64 {
+        let mss = self.mss as f64;
+        let w_max_mss = self.w_max / mss;
+        // K = cbrt(W_max * (1 - beta) / C), in seconds.
+        let k = (w_max_mss * (1.0 - BETA) / C).cbrt();
+        let w_mss = C * (t_secs - k).powi(3) + w_max_mss;
+        w_mss * mss
+    }
+
+    /// Processes a cumulative ACK (see
+    /// [`crate::CongestionController::on_new_ack`]; CUBIC additionally needs
+    /// the current time for its window curve).
+    pub fn on_new_ack(
+        &mut self,
+        now: SimTime,
+        newly_acked: u64,
+        ack_no: u64,
+        cwnd_limited: bool,
+    ) -> NewAckOutcome {
+        self.dup_acks = 0;
+        if self.in_recovery {
+            if ack_no >= self.recover {
+                self.in_recovery = false;
+                self.cwnd = self.ssthresh.max(self.mss);
+                self.epoch_start = None; // new epoch begins on next growth
+                NewAckOutcome::RecoveryComplete
+            } else {
+                if !self.sack_mode {
+                    self.cwnd = self.cwnd.saturating_sub(newly_acked).max(self.mss) + self.mss;
+                }
+                NewAckOutcome::RecoveryPartial
+            }
+        } else {
+            if cwnd_limited {
+                if self.cwnd < self.ssthresh {
+                    // Slow start, as in Reno.
+                    self.cwnd += newly_acked.min(self.mss);
+                } else {
+                    // Cubic growth toward (and past) w_max.
+                    let epoch = *self.epoch_start.get_or_insert_with(|| {
+                        self.epoch_cwnd = self.cwnd as f64;
+                        now
+                    });
+                    let t = now.saturating_duration_since(epoch).as_secs_f64();
+                    let target = self.w_cubic(t).max(self.epoch_cwnd);
+                    if target > self.cwnd as f64 {
+                        // Standard per-ACK increment: (target - cwnd)/cwnd
+                        // segments' worth of bytes.
+                        let inc = (target - self.cwnd as f64) / self.cwnd as f64 * self.mss as f64;
+                        self.cwnd += (inc as u64).max(1);
+                    } else {
+                        // Below the curve (concave floor): minimal growth.
+                        self.cwnd += (self.mss * self.mss / self.cwnd).max(1);
+                    }
+                }
+                self.cwnd = self.cwnd.min(self.max_cwnd);
+            }
+            NewAckOutcome::Normal
+        }
+    }
+
+    /// Processes a duplicate ACK (see
+    /// [`crate::CongestionController::on_duplicate_ack`]).
+    pub fn on_duplicate_ack(&mut self, now: SimTime, flight: u64, snd_max: u64) -> bool {
+        let _ = now;
+        if self.in_recovery {
+            if !self.sack_mode {
+                self.cwnd = (self.cwnd + self.mss).min(self.max_cwnd);
+            }
+            return false;
+        }
+        self.dup_acks += 1;
+        if self.dup_acks == 3 {
+            self.w_max = self.cwnd.max(flight) as f64;
+            self.ssthresh = ((self.w_max * BETA) as u64).max(2 * self.mss);
+            self.cwnd = if self.sack_mode {
+                self.ssthresh
+            } else {
+                self.ssthresh + 3 * self.mss
+            };
+            self.in_recovery = true;
+            self.recover = snd_max;
+            self.epoch_start = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Processes a retransmission timeout (see
+    /// [`crate::CongestionController::on_timeout`]).
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.w_max = self.cwnd.max(flight) as f64;
+        self.ssthresh = ((self.w_max * BETA) as u64).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.epoch_start = None;
+    }
+
+    /// RFC 5681 §4.1 idle restart.
+    pub fn idle_restart(&mut self) {
+        self.cwnd = self.cwnd.min(self.initial_cwnd);
+        self.dup_acks = 0;
+        self.epoch_start = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_sim::SimDuration;
+
+    const MSS: u64 = 1460;
+
+    fn cubic() -> CubicController {
+        CubicController::new(1460, 4, 64 * 1024 * 1024)
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn slow_start_matches_reno() {
+        let mut c = cubic();
+        let start = c.cwnd();
+        let acks = start / MSS;
+        for _ in 0..acks {
+            c.on_new_ack(t(0.0), MSS, 0, true);
+        }
+        assert_eq!(c.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn loss_reduces_by_beta() {
+        let mut c = cubic();
+        for _ in 0..100 {
+            c.on_new_ack(t(0.0), MSS, 0, true);
+        }
+        let before = c.cwnd();
+        for _ in 0..3 {
+            c.on_duplicate_ack(t(1.0), before, before);
+        }
+        assert!(c.in_recovery());
+        // ssthresh = 0.7 * w_max.
+        let expected = (before as f64 * BETA) as u64;
+        assert!(
+            (c.ssthresh() as i64 - expected as i64).unsigned_abs() <= MSS,
+            "ssthresh {} vs 0.7*w_max {expected}",
+            c.ssthresh()
+        );
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_plateau() {
+        // After a loss, growth is concave up to w_max, then convex beyond:
+        // the increment rate near the plateau is smaller than far past it.
+        let mut c = cubic();
+        // Build a large window, then lose.
+        for _ in 0..2000 {
+            c.on_new_ack(t(0.0), MSS, 0, true);
+        }
+        let w_loss = c.cwnd();
+        for _ in 0..3 {
+            c.on_duplicate_ack(t(10.0), w_loss, w_loss);
+        }
+        c.on_new_ack(t(10.1), MSS, w_loss * 2, true); // recovery complete
+        assert!(!c.in_recovery());
+
+        // Sample growth over simulated time; CUBIC time-driven growth.
+        let mut last = c.cwnd();
+        let mut deltas = Vec::new();
+        for i in 1..=40 {
+            let now = t(10.1 + i as f64 * 0.5);
+            // A real flow at this window produces ~cwnd/MSS ACKs per RTT;
+            // feed a few hundred per step so growth is curve-limited, not
+            // ACK-starved.
+            for _ in 0..400 {
+                c.on_new_ack(now, MSS, w_loss * 2, true);
+            }
+            deltas.push(c.cwnd() as i64 - last as i64);
+            last = c.cwnd();
+        }
+        // Recovers to near w_max and then exceeds it.
+        assert!(
+            c.cwnd() as f64 > w_loss as f64,
+            "cwnd {} did not pass w_max {w_loss}",
+            c.cwnd()
+        );
+        // Convex tail: the last growth steps outpace the plateau-area steps.
+        let mid = deltas[deltas.len() / 2];
+        let end = *deltas.last().unwrap();
+        assert!(end > mid, "growth did not accelerate: mid {mid}, end {end}");
+    }
+
+    #[test]
+    fn timeout_collapses_and_restarts_epoch() {
+        let mut c = cubic();
+        for _ in 0..50 {
+            c.on_new_ack(t(0.0), MSS, 0, true);
+        }
+        c.on_timeout(20 * MSS);
+        assert_eq!(c.cwnd(), MSS);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn app_limited_does_not_grow() {
+        let mut c = cubic();
+        let w = c.cwnd();
+        for _ in 0..100 {
+            c.on_new_ack(t(1.0), MSS, 0, false);
+        }
+        assert_eq!(c.cwnd(), w);
+    }
+
+    #[test]
+    fn sack_mode_recovery_conventions() {
+        let mut c = cubic();
+        c.set_sack_mode(true);
+        for _ in 0..3 {
+            c.on_duplicate_ack(t(0.0), 10 * MSS, 10 * MSS);
+        }
+        assert_eq!(c.cwnd(), c.ssthresh());
+        let w = c.cwnd();
+        for _ in 0..10 {
+            c.on_duplicate_ack(t(0.1), 10 * MSS, 10 * MSS);
+            c.on_new_ack(t(0.1), MSS, 5 * MSS, true);
+        }
+        assert_eq!(c.cwnd(), w, "no inflation/deflation in SACK mode");
+    }
+
+    #[test]
+    fn window_curve_has_plateau_at_w_max() {
+        let c = {
+            let mut c = cubic();
+            for _ in 0..500 {
+                c.on_new_ack(t(0.0), MSS, 0, true);
+            }
+            let w = c.cwnd();
+            for _ in 0..3 {
+                c.on_duplicate_ack(t(5.0), w, w);
+            }
+            c
+        };
+        // At t = K, W(t) = w_max exactly.
+        let w_max_mss = c.w_max / MSS as f64;
+        let k = (w_max_mss * (1.0 - BETA) / C).cbrt();
+        let at_k = c.w_cubic(k);
+        assert!(
+            (at_k - c.w_max).abs() < 1.0,
+            "W(K) = {at_k} vs w_max {}",
+            c.w_max
+        );
+        let _ = SimDuration::ZERO;
+    }
+}

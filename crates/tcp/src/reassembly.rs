@@ -1,0 +1,427 @@
+//! Receive-side stream reassembly and flow control.
+//!
+//! The [`ReceiveBuffer`] tracks which byte ranges have arrived, delivers them
+//! to the application in order, and computes the advertised window from its
+//! remaining capacity. Because payload bytes are never materialized, the
+//! out-of-order store is an interval set rather than a byte buffer.
+//!
+//! The advertised window is the mechanism behind the paper's client-pull
+//! streaming strategies: an application that stops calling
+//! [`ReceiveBuffer::read`] lets the buffer fill, which drives the advertised
+//! window to zero and silences the sender (Fig. 2b).
+
+use std::collections::BTreeMap;
+
+/// Reassembly buffer and window accounting for one direction of a
+/// connection.
+#[derive(Clone, Debug)]
+pub struct ReceiveBuffer {
+    /// Next in-order byte expected from the peer.
+    rcv_nxt: u64,
+    /// Bytes delivered in order but not yet read by the application.
+    unread: u64,
+    /// Total buffer capacity in bytes.
+    capacity: u64,
+    /// Out-of-order ranges, keyed by start offset; disjoint, non-adjacent,
+    /// and all strictly above `rcv_nxt`.
+    ooo: BTreeMap<u64, u64>,
+    /// Total bytes held in `ooo`.
+    ooo_bytes: u64,
+    /// Sequence offset of the peer's FIN, once seen.
+    fin_seq: Option<u64>,
+    /// True once `rcv_nxt` has consumed the FIN.
+    fin_reached: bool,
+    /// Start of the range that absorbed the most recent insertion; reported
+    /// first in the SACK option (RFC 2018).
+    last_insert: Option<u64>,
+    /// Rotation cursor over the remaining ranges, so that successive ACKs
+    /// walk the whole out-of-order map and the sender can accumulate a
+    /// complete scoreboard.
+    sack_rotate: u64,
+}
+
+impl ReceiveBuffer {
+    /// Creates an empty buffer with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "receive buffer capacity must be positive");
+        ReceiveBuffer {
+            rcv_nxt: 0,
+            unread: 0,
+            capacity,
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            fin_seq: None,
+            fin_reached: false,
+            last_insert: None,
+            sack_rotate: 0,
+        }
+    }
+
+    /// Next expected in-order sequence number (the cumulative ACK value).
+    ///
+    /// Includes the FIN's sequence slot once the FIN has been reached.
+    pub fn ack_no(&self) -> u64 {
+        if self.fin_reached {
+            self.rcv_nxt + 1
+        } else {
+            self.rcv_nxt
+        }
+    }
+
+    /// Currently advertised receive window in bytes.
+    pub fn window(&self) -> u64 {
+        self.capacity.saturating_sub(self.unread + self.ooo_bytes)
+    }
+
+    /// Bytes available for the application to read.
+    pub fn available(&self) -> u64 {
+        self.unread
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// True once the peer's FIN is in order and all data has been read.
+    pub fn at_eof(&self) -> bool {
+        self.fin_reached && self.unread == 0
+    }
+
+    /// Accepts a data segment `[seq, seq + len)`.
+    ///
+    /// Returns the number of *new* in-order bytes made available to the
+    /// application by this segment (0 for duplicates, out-of-order data, and
+    /// out-of-window data). Data beyond the advertised window is truncated —
+    /// a correct peer never sends it, but a zero-window probe probes exactly
+    /// this path.
+    pub fn on_data(&mut self, seq: u64, len: u32) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut start = seq;
+        let mut end = seq + len as u64;
+
+        // Clip below: already-received bytes.
+        start = start.max(self.rcv_nxt);
+        // Clip above: the window right edge promised to the peer.
+        let right_edge = self.rcv_nxt + self.window();
+        end = end.min(right_edge);
+        if start >= end {
+            return 0;
+        }
+
+        self.insert_range(start, end);
+        self.deliver_in_order()
+    }
+
+    /// Records the peer's FIN at stream offset `seq` (one past the last data
+    /// byte). Returns true if the FIN is (now) in order.
+    pub fn on_fin(&mut self, seq: u64) -> bool {
+        match self.fin_seq {
+            Some(existing) => debug_assert_eq!(existing, seq, "peer moved its FIN"),
+            None => self.fin_seq = Some(seq),
+        }
+        self.check_fin();
+        self.fin_reached
+    }
+
+    /// The first (lowest) out-of-order ranges held, for the SACK option of
+    /// outgoing ACKs. The lowest ranges are reported because they are the
+    /// ones adjacent to the holes the sender must repair first.
+    pub fn sack_blocks(&mut self) -> crate::segment::SackBlocks {
+        let mut blocks = crate::segment::SackBlocks::default();
+        if self.ooo.is_empty() {
+            return blocks;
+        }
+        // First block: the range containing the most recent insertion
+        // (RFC 2018 §4), so the sender learns about fresh arrivals at once.
+        let first = self
+            .last_insert
+            .and_then(|s| self.ooo.get(&s).map(|&e| (s, e)))
+            .or_else(|| self.ooo.first_key_value().map(|(&s, &e)| (s, e)));
+        let first_start = match first {
+            Some((s, e)) => {
+                blocks.push(s, e);
+                s
+            }
+            None => u64::MAX,
+        };
+        // Remaining slots: rotate through the other ranges so that a burst
+        // of ACKs communicates the complete out-of-order map.
+        let mut cursor = self.sack_rotate;
+        for _ in 0..2 {
+            let next = self
+                .ooo
+                .range(cursor..)
+                .find(|(&s, _)| s != first_start)
+                .or_else(|| self.ooo.iter().find(|(&s, _)| s != first_start))
+                .map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) => {
+                    blocks.push(s, e);
+                    cursor = s + 1;
+                }
+                None => break,
+            }
+        }
+        self.sack_rotate = cursor;
+        if let Some((_, &e)) = self.ooo.last_key_value() {
+            blocks.set_highest_end(e);
+        }
+        blocks
+    }
+
+    /// Reads up to `max` bytes for the application, returning how many were
+    /// consumed. Freed capacity reopens the advertised window.
+    pub fn read(&mut self, max: u64) -> u64 {
+        let n = self.unread.min(max);
+        self.unread -= n;
+        n
+    }
+
+    fn insert_range(&mut self, mut start: u64, mut end: u64) {
+        // Merge with any overlapping or adjacent stored ranges.
+        // Candidates: the last range starting at or before `end`, walking
+        // backwards while they still intersect.
+        let overlapping: Vec<u64> = self
+            .ooo
+            .range(..=end)
+            .rev()
+            .take_while(|(_, &e)| e >= start)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ooo.remove(&s).expect("key just observed");
+            self.ooo_bytes -= e - s;
+            start = start.min(s);
+            end = end.max(e);
+        }
+        self.ooo.insert(start, end);
+        self.ooo_bytes += end - start;
+        self.last_insert = Some(start);
+    }
+
+    fn deliver_in_order(&mut self) -> u64 {
+        let mut delivered = 0;
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s > self.rcv_nxt {
+                break;
+            }
+            self.ooo.remove(&s);
+            self.ooo_bytes -= e - s;
+            debug_assert!(s == self.rcv_nxt, "stored range below rcv_nxt");
+            delivered += e - self.rcv_nxt;
+            self.rcv_nxt = e;
+            if self.last_insert == Some(s) {
+                self.last_insert = None;
+            }
+        }
+        self.unread += delivered;
+        self.check_fin();
+        delivered
+    }
+
+    fn check_fin(&mut self) {
+        if !self.fin_reached && self.fin_seq == Some(self.rcv_nxt) {
+            self.fin_reached = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        assert_eq!(rb.on_data(0, 1000), 1000);
+        assert_eq!(rb.on_data(1000, 500), 500);
+        assert_eq!(rb.ack_no(), 1500);
+        assert_eq!(rb.available(), 1500);
+    }
+
+    #[test]
+    fn duplicate_data_is_ignored() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        rb.on_data(0, 1000);
+        assert_eq!(rb.on_data(0, 1000), 0);
+        assert_eq!(rb.on_data(500, 500), 0);
+        assert_eq!(rb.ack_no(), 1000);
+    }
+
+    #[test]
+    fn out_of_order_held_then_released() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        assert_eq!(rb.on_data(1000, 1000), 0);
+        assert_eq!(rb.ack_no(), 0);
+        // Filling the hole releases both ranges.
+        assert_eq!(rb.on_data(0, 1000), 2000);
+        assert_eq!(rb.ack_no(), 2000);
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        rb.on_data(2000, 1000);
+        rb.on_data(2500, 1000); // overlaps the first
+        rb.on_data(4000, 500); // separate
+        assert_eq!(rb.on_data(0, 2000), 3500); // releases [0,3500)
+        assert_eq!(rb.ack_no(), 3500);
+        assert_eq!(rb.on_data(3500, 500), 1000); // joins [4000,4500)
+    }
+
+    #[test]
+    fn window_shrinks_with_unread_data() {
+        let mut rb = ReceiveBuffer::new(4_000);
+        assert_eq!(rb.window(), 4_000);
+        rb.on_data(0, 3000);
+        assert_eq!(rb.window(), 1_000);
+        rb.read(2000);
+        assert_eq!(rb.window(), 3_000);
+    }
+
+    #[test]
+    fn window_reaches_zero_when_app_stops_reading() {
+        let mut rb = ReceiveBuffer::new(2_000);
+        rb.on_data(0, 2000);
+        assert_eq!(rb.window(), 0);
+        // Out-of-window data is refused entirely.
+        assert_eq!(rb.on_data(2000, 1000), 0);
+        assert_eq!(rb.ack_no(), 2000);
+        // The application drains one block; the window reopens.
+        assert_eq!(rb.read(1500), 1500);
+        assert_eq!(rb.window(), 1500);
+        assert_eq!(rb.on_data(2000, 1000), 1000);
+    }
+
+    #[test]
+    fn out_of_order_data_counts_against_window() {
+        let mut rb = ReceiveBuffer::new(4_000);
+        rb.on_data(1000, 1000);
+        assert_eq!(rb.window(), 3_000);
+    }
+
+    #[test]
+    fn data_beyond_window_is_truncated() {
+        let mut rb = ReceiveBuffer::new(1_000);
+        // Only the first 1000 bytes fit.
+        assert_eq!(rb.on_data(0, 1460), 1000);
+        assert_eq!(rb.ack_no(), 1000);
+        assert_eq!(rb.window(), 0);
+    }
+
+    #[test]
+    fn sack_blocks_lead_with_most_recent_insertion() {
+        let mut rb = ReceiveBuffer::new(100_000);
+        rb.on_data(1000, 500);
+        rb.on_data(3000, 500);
+        rb.on_data(5000, 500);
+        rb.on_data(7000, 500);
+        // 7000 was the last insertion, so it is reported first.
+        let blocks: Vec<_> = rb.sack_blocks().iter().collect();
+        assert_eq!(blocks[0], (7000, 7500));
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(rb.sack_blocks().highest_end(), 7500);
+    }
+
+    #[test]
+    fn sack_rotation_covers_all_ranges() {
+        // Ten disjoint ranges; repeated ACKs must eventually mention all.
+        let mut rb = ReceiveBuffer::new(1_000_000);
+        for i in 0..10u64 {
+            rb.on_data(1000 + i * 2000, 500);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10 {
+            for (s, _) in rb.sack_blocks().iter() {
+                seen.insert(s);
+            }
+        }
+        assert_eq!(seen.len(), 10, "rotation failed to cover all ranges: {seen:?}");
+    }
+
+    #[test]
+    fn sack_blocks_empty_when_in_order() {
+        let mut rb = ReceiveBuffer::new(100_000);
+        rb.on_data(0, 1000);
+        assert!(rb.sack_blocks().is_empty());
+    }
+
+    #[test]
+    fn read_caps_at_available() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        rb.on_data(0, 100);
+        assert_eq!(rb.read(1_000), 100);
+        assert_eq!(rb.read(1_000), 0);
+    }
+
+    #[test]
+    fn fin_in_order_advances_ack() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        rb.on_data(0, 1000);
+        assert!(rb.on_fin(1000));
+        assert_eq!(rb.ack_no(), 1001);
+        assert!(!rb.at_eof(), "unread data pending");
+        rb.read(1000);
+        assert!(rb.at_eof());
+    }
+
+    #[test]
+    fn fin_out_of_order_waits_for_data() {
+        let mut rb = ReceiveBuffer::new(10_000);
+        assert!(!rb.on_fin(1000));
+        assert_eq!(rb.ack_no(), 0);
+        rb.on_data(0, 1000);
+        assert!(rb.at_eof() || rb.available() > 0);
+        assert_eq!(rb.ack_no(), 1001);
+    }
+
+    proptest! {
+        /// Delivering segments in any order yields the same total stream:
+        /// after all segments arrive, ack_no equals the stream length and the
+        /// application can read every byte exactly once.
+        #[test]
+        fn prop_any_arrival_order_reassembles(
+            order in Just(()).prop_perturb(|_, mut rng| {
+                let mut idx: Vec<usize> = (0..20).collect();
+                // Fisher-Yates with proptest's rng for a random permutation.
+                for i in (1..idx.len()).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    idx.swap(i, j);
+                }
+                idx
+            })
+        ) {
+            let seg = 500u64;
+            let mut rb = ReceiveBuffer::new(100_000);
+            let mut total_read = 0;
+            for &i in &order {
+                rb.on_data(i as u64 * seg, seg as u32);
+                total_read += rb.read(u64::MAX);
+            }
+            prop_assert_eq!(rb.ack_no(), 20 * seg);
+            prop_assert_eq!(total_read, 20 * seg);
+            prop_assert_eq!(rb.window(), 100_000);
+        }
+
+        /// The advertised window never exceeds capacity and unread bytes
+        /// never exceed what was accepted.
+        #[test]
+        fn prop_window_invariants(
+            writes in prop::collection::vec((0u64..5_000, 1u32..1_500), 1..100)
+        ) {
+            let mut rb = ReceiveBuffer::new(8_192);
+            for (seq, len) in writes {
+                rb.on_data(seq, len);
+                prop_assert!(rb.window() <= rb.capacity());
+                prop_assert!(rb.available() + rb.window() <= rb.capacity());
+            }
+        }
+    }
+}

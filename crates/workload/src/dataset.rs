@@ -1,0 +1,208 @@
+//! The six measurement datasets of §4.1, as seeded samplers.
+//!
+//! | Dataset  | Videos | Encoding rates     | Notes |
+//! |----------|--------|--------------------|-------|
+//! | YouFlash | 5000   | 0.2 – 1.5 Mbps     | 240p/360p default, Flash |
+//! | YouHD    | 2000   | 0.2 – 4.8 Mbps     | 720p default, Flash HD |
+//! | YouHtml  | 3000   | 0.2 – 2.5 Mbps     | 2500 from YouFlash + 500 from YouHD, HTML5 |
+//! | YouMob   | —      | 0.2 – 2.7 Mbps     | native mobile applications |
+//! | NetPC    | 200    | 0.5 – 3.0 Mbps     | Netflix, Silverlight (multi-rate) |
+//! | NetMob   | 50     | subset of NetPC    | Netflix native applications |
+//!
+//! Durations follow a log-normal: YouTube's 2011 median video length was
+//! around four minutes with a heavy tail (Cha et al., cited by the paper);
+//! Netflix titles are television episodes and films (20 minutes – 2 hours).
+
+use vstream_app::Video;
+use vstream_sim::{SimDuration, SimRng};
+
+/// One of the paper's six datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 5000 randomly selected Flash videos at the default resolution.
+    YouFlash,
+    /// 2000 HD (720p) videos streamed over the Flash container.
+    YouHd,
+    /// 3000 videos playable through the HTML5 player.
+    YouHtml,
+    /// Videos searched through the native mobile applications.
+    YouMob,
+    /// 200 Netflix watch-instantly titles.
+    NetPc,
+    /// 50 titles sampled from NetPC for the mobile applications.
+    NetMob,
+}
+
+impl Dataset {
+    /// The catalogue size the paper reports (YouMob's is not stated; the
+    /// value matches the scale of the others' mobile subsets).
+    pub fn catalogue_size(self) -> usize {
+        match self {
+            Dataset::YouFlash => 5000,
+            Dataset::YouHd => 2000,
+            Dataset::YouHtml => 3000,
+            Dataset::YouMob => 500,
+            Dataset::NetPc => 200,
+            Dataset::NetMob => 50,
+        }
+    }
+
+    /// Encoding-rate range in bits per second, from §4.1.
+    pub fn rate_range_bps(self) -> (u64, u64) {
+        match self {
+            Dataset::YouFlash => (200_000, 1_500_000),
+            Dataset::YouHd => (200_000, 4_800_000),
+            Dataset::YouHtml => (200_000, 2_500_000),
+            Dataset::YouMob => (200_000, 2_700_000),
+            Dataset::NetPc => (500_000, 3_000_000),
+            Dataset::NetMob => (500_000, 1_600_000),
+        }
+    }
+
+    /// The figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataset::YouFlash => "YouFlash",
+            Dataset::YouHd => "YouHD",
+            Dataset::YouHtml => "YouHtml",
+            Dataset::YouMob => "YouMob",
+            Dataset::NetPc => "NetPC",
+            Dataset::NetMob => "NetMob",
+        }
+    }
+
+    /// True for the Netflix datasets (different duration model and vantage
+    /// points).
+    pub fn is_netflix(self) -> bool {
+        matches!(self, Dataset::NetPc | Dataset::NetMob)
+    }
+
+    /// Samples one video.
+    pub fn sample(self, rng: &mut SimRng, id: u64) -> Video {
+        let (lo, hi) = self.rate_range_bps();
+        // Encoding rates cluster toward the low/default end of the range:
+        // most 2011 YouTube videos were 240p/360p. A squared uniform draw
+        // biases low while covering the whole published range.
+        let u = rng.uniform();
+        let rate = lo as f64 + (hi - lo) as f64 * u * u.sqrt();
+        let rate = (rate as u64).clamp(lo, hi);
+
+        let duration = if self.is_netflix() {
+            // Netflix: episodes (~22/45 min) and films (~100 min).
+            let class = rng.uniform();
+            let minutes = if class < 0.4 {
+                rng.uniform_range(20.0, 25.0)
+            } else if class < 0.75 {
+                rng.uniform_range(40.0, 50.0)
+            } else {
+                rng.uniform_range(85.0, 130.0)
+            };
+            SimDuration::from_secs_f64(minutes * 60.0)
+        } else {
+            // YouTube: log-normal, median ≈ 4 minutes, clamped to [30 s, 1 h].
+            let secs = rng.log_normal((240.0f64).ln(), 0.8);
+            SimDuration::from_secs_f64(secs.clamp(30.0, 3600.0))
+        };
+
+        Video::new(id, rate, duration)
+    }
+
+    /// Samples `n` videos deterministically from a seed.
+    pub fn sample_many(self, seed: u64, n: usize) -> Vec<Video> {
+        let mut rng = SimRng::new(seed ^ (self.catalogue_size() as u64) << 17);
+        (0..n).map(|i| self.sample(&mut rng, i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Dataset; 6] = [
+        Dataset::YouFlash,
+        Dataset::YouHd,
+        Dataset::YouHtml,
+        Dataset::YouMob,
+        Dataset::NetPc,
+        Dataset::NetMob,
+    ];
+
+    #[test]
+    fn catalogue_sizes_match_paper() {
+        assert_eq!(Dataset::YouFlash.catalogue_size(), 5000);
+        assert_eq!(Dataset::YouHd.catalogue_size(), 2000);
+        assert_eq!(Dataset::YouHtml.catalogue_size(), 3000);
+        assert_eq!(Dataset::NetPc.catalogue_size(), 200);
+        assert_eq!(Dataset::NetMob.catalogue_size(), 50);
+    }
+
+    #[test]
+    fn samples_respect_rate_ranges() {
+        for ds in ALL {
+            let (lo, hi) = ds.rate_range_bps();
+            for v in ds.sample_many(1, 500) {
+                assert!(
+                    (lo..=hi).contains(&v.encoding_bps),
+                    "{}: rate {} outside [{lo}, {hi}]",
+                    ds.label(),
+                    v.encoding_bps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Dataset::YouFlash.sample_many(7, 100);
+        let b = Dataset::YouFlash.sample_many(7, 100);
+        assert_eq!(a, b);
+        let c = Dataset::YouFlash.sample_many(8, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn youtube_durations_are_minutes_scale() {
+        let videos = Dataset::YouFlash.sample_many(3, 2000);
+        let mut secs: Vec<f64> = videos.iter().map(|v| v.duration.as_secs_f64()).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = secs[secs.len() / 2];
+        assert!(
+            (120.0..=420.0).contains(&median),
+            "median YouTube duration = {median:.0} s"
+        );
+        assert!(secs.iter().all(|&s| (30.0..=3600.0).contains(&s)));
+    }
+
+    #[test]
+    fn netflix_durations_are_episode_to_film_scale() {
+        let videos = Dataset::NetPc.sample_many(3, 1000);
+        let secs: Vec<f64> = videos.iter().map(|v| v.duration.as_secs_f64()).collect();
+        assert!(secs.iter().all(|&s| (1200.0..=7800.0).contains(&s)));
+        // Both episodes and films appear.
+        assert!(secs.iter().any(|&s| s < 1800.0));
+        assert!(secs.iter().any(|&s| s > 5000.0));
+    }
+
+    #[test]
+    fn rates_are_biased_low() {
+        // Most YouTube videos play at the default (low) resolution.
+        let videos = Dataset::YouFlash.sample_many(5, 2000);
+        let below_midpoint = videos
+            .iter()
+            .filter(|v| v.encoding_bps < 850_000)
+            .count();
+        assert!(
+            below_midpoint > videos.len() / 2,
+            "only {below_midpoint} of {} below midpoint",
+            videos.len()
+        );
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let videos = Dataset::YouHd.sample_many(1, 10);
+        for (i, v) in videos.iter().enumerate() {
+            assert_eq!(v.id, i as u64);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The application × container matrix of Table 1.
+//!
+//! Each cell of Table 1 names the streaming strategy the paper measured for
+//! one combination of client application and container. This module supplies
+//! (a) the ground truth the paper reports ([`table1_expected`]) and (b) a
+//! factory that assembles the corresponding simulated session
+//! ([`logic_for`]), so the Table 1 reproduction can run every cell and
+//! compare the classifier's verdict against the paper's.
+
+use vstream_analysis::Strategy;
+use vstream_app::engine::{Engine, SessionLogic};
+use vstream_app::strategies::{
+    BulkLogic, ClientPullConfig, ClientPullLogic, NetflixConfig, NetflixLogic, RangeRequestConfig,
+    RangeRequestLogic, ServerPacedConfig, ServerPacedLogic,
+};
+use vstream_app::{Player, Video};
+use vstream_net::NetworkProfile;
+
+/// The streaming service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// YouTube (Flash, Flash HD, or HTML5 container).
+    YouTube,
+    /// Netflix (Silverlight on PCs, native applications on mobile).
+    Netflix,
+}
+
+/// The client application (rows of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Client {
+    /// Internet Explorer 9.
+    InternetExplorer,
+    /// Mozilla Firefox 4.0.
+    Firefox,
+    /// Google Chrome 10.0.
+    Chrome,
+    /// The native iOS (iPad) application.
+    Ipad,
+    /// The native Android application.
+    Android,
+}
+
+impl Client {
+    /// All rows of Table 1.
+    pub const ALL: [Client; 5] = [
+        Client::InternetExplorer,
+        Client::Firefox,
+        Client::Chrome,
+        Client::Ipad,
+        Client::Android,
+    ];
+
+    /// The row label in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Client::InternetExplorer => "Internet Explorer",
+            Client::Firefox => "Mozilla Firefox",
+            Client::Chrome => "Google Chrome",
+            Client::Ipad => "iOS (native)",
+            Client::Android => "Android (native)",
+        }
+    }
+
+    /// True for the native mobile applications.
+    pub fn is_mobile(self) -> bool {
+        matches!(self, Client::Ipad | Client::Android)
+    }
+}
+
+/// The video container (columns of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Container {
+    /// Adobe Flash at the default resolution.
+    Flash,
+    /// Flash HD (720p).
+    FlashHd,
+    /// HTML5 (webM).
+    Html5,
+    /// Microsoft Silverlight (Netflix).
+    Silverlight,
+}
+
+impl Container {
+    /// All columns of Table 1.
+    pub const ALL: [Container; 4] = [
+        Container::Flash,
+        Container::FlashHd,
+        Container::Html5,
+        Container::Silverlight,
+    ];
+
+    /// The column label in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Container::Flash => "Flash",
+            Container::FlashHd => "Flash HD",
+            Container::Html5 => "HTML5",
+            Container::Silverlight => "Silverlight",
+        }
+    }
+
+    /// The service this container belongs to.
+    pub fn service(self) -> Service {
+        match self {
+            Container::Silverlight => Service::Netflix,
+            _ => Service::YouTube,
+        }
+    }
+}
+
+/// A strategy logic for any Table 1 cell, with uniform access to the player
+/// and download counters.
+pub enum StrategyLogic {
+    /// YouTube over Flash (server-paced).
+    ServerPaced(ServerPacedLogic),
+    /// HTML5 client-pull (IE, Chrome, Android).
+    ClientPull(ClientPullLogic),
+    /// Bulk transfer (Firefox HTML5, Flash HD).
+    Bulk(BulkLogic),
+    /// iPad range requests.
+    Range(RangeRequestLogic),
+    /// Netflix (any device).
+    Netflix(NetflixLogic),
+}
+
+impl StrategyLogic {
+    /// The playback model of the wrapped logic.
+    pub fn player(&self) -> &Player {
+        match self {
+            StrategyLogic::ServerPaced(l) => &l.player,
+            StrategyLogic::ClientPull(l) => &l.player,
+            StrategyLogic::Bulk(l) => &l.player,
+            StrategyLogic::Range(l) => &l.player,
+            StrategyLogic::Netflix(l) => &l.player,
+        }
+    }
+
+    /// Unique bytes the client application has read.
+    pub fn read_total(&self) -> u64 {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.read_total,
+            StrategyLogic::ClientPull(l) => l.read_total,
+            StrategyLogic::Bulk(l) => l.read_total,
+            StrategyLogic::Range(l) => l.read_total,
+            StrategyLogic::Netflix(l) => l.read_total,
+        }
+    }
+
+    /// The video being streamed (for Netflix, at the selected rate).
+    pub fn video(&self) -> Video {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.video(),
+            StrategyLogic::ClientPull(l) => l.video(),
+            StrategyLogic::Bulk(l) => l.video(),
+            StrategyLogic::Range(l) => l.video(),
+            StrategyLogic::Netflix(l) => l.video(),
+        }
+    }
+}
+
+impl SessionLogic for StrategyLogic {
+    fn on_start(&mut self, eng: &mut Engine) {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.on_start(eng),
+            StrategyLogic::ClientPull(l) => l.on_start(eng),
+            StrategyLogic::Bulk(l) => l.on_start(eng),
+            StrategyLogic::Range(l) => l.on_start(eng),
+            StrategyLogic::Netflix(l) => l.on_start(eng),
+        }
+    }
+    fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.on_established(eng, conn),
+            StrategyLogic::ClientPull(l) => l.on_established(eng, conn),
+            StrategyLogic::Bulk(l) => l.on_established(eng, conn),
+            StrategyLogic::Range(l) => l.on_established(eng, conn),
+            StrategyLogic::Netflix(l) => l.on_established(eng, conn),
+        }
+    }
+    fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.on_data_available(eng, conn),
+            StrategyLogic::ClientPull(l) => l.on_data_available(eng, conn),
+            StrategyLogic::Bulk(l) => l.on_data_available(eng, conn),
+            StrategyLogic::Range(l) => l.on_data_available(eng, conn),
+            StrategyLogic::Netflix(l) => l.on_data_available(eng, conn),
+        }
+    }
+    fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.on_eof(eng, conn),
+            StrategyLogic::ClientPull(l) => l.on_eof(eng, conn),
+            StrategyLogic::Bulk(l) => l.on_eof(eng, conn),
+            StrategyLogic::Range(l) => l.on_eof(eng, conn),
+            StrategyLogic::Netflix(l) => l.on_eof(eng, conn),
+        }
+    }
+    fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.on_app_timer(eng, id),
+            StrategyLogic::ClientPull(l) => l.on_app_timer(eng, id),
+            StrategyLogic::Bulk(l) => l.on_app_timer(eng, id),
+            StrategyLogic::Range(l) => l.on_app_timer(eng, id),
+            StrategyLogic::Netflix(l) => l.on_app_timer(eng, id),
+        }
+    }
+}
+
+/// Builds the session logic for a Table 1 cell, or `None` where the cell is
+/// not applicable (mobile applications do not play Flash).
+pub fn logic_for(client: Client, container: Container, video: Video) -> Option<StrategyLogic> {
+    Some(match container {
+        Container::Flash => {
+            if client.is_mobile() {
+                return None;
+            }
+            StrategyLogic::ServerPaced(ServerPacedLogic::new(ServerPacedConfig::default(), video))
+        }
+        Container::FlashHd => {
+            if client.is_mobile() {
+                return None;
+            }
+            StrategyLogic::Bulk(BulkLogic::new(video))
+        }
+        Container::Html5 => match client {
+            Client::InternetExplorer => StrategyLogic::ClientPull(ClientPullLogic::new(
+                ClientPullConfig::internet_explorer(),
+                video,
+            )),
+            Client::Firefox => StrategyLogic::Bulk(BulkLogic::new(video)),
+            Client::Chrome => {
+                StrategyLogic::ClientPull(ClientPullLogic::new(ClientPullConfig::chrome(), video))
+            }
+            Client::Ipad => StrategyLogic::Range(RangeRequestLogic::new(
+                RangeRequestConfig::default(),
+                video,
+            )),
+            Client::Android => {
+                StrategyLogic::ClientPull(ClientPullLogic::new(ClientPullConfig::android(), video))
+            }
+        },
+        Container::Silverlight => {
+            let cfg = match client {
+                Client::Ipad => NetflixConfig::ipad(),
+                Client::Android => NetflixConfig::android(),
+                _ => NetflixConfig::pc(),
+            };
+            StrategyLogic::Netflix(NetflixLogic::new(cfg, video.duration))
+        }
+    })
+}
+
+/// The strategy Table 1 of the paper reports for a cell (`None` = not
+/// applicable).
+pub fn table1_expected(client: Client, container: Container) -> Option<Strategy> {
+    match (client, container) {
+        (c, Container::Flash) if !c.is_mobile() => Some(Strategy::ShortCycles),
+        (c, Container::FlashHd) if !c.is_mobile() => Some(Strategy::NoOnOff),
+        (_, Container::Flash | Container::FlashHd) => None,
+        (Client::InternetExplorer, Container::Html5) => Some(Strategy::ShortCycles),
+        (Client::Firefox, Container::Html5) => Some(Strategy::NoOnOff),
+        (Client::Chrome, Container::Html5) => Some(Strategy::LongCycles),
+        (Client::Ipad, Container::Html5) => Some(Strategy::Mixed),
+        (Client::Android, Container::Html5) => Some(Strategy::LongCycles),
+        (Client::Android, Container::Silverlight) => Some(Strategy::LongCycles),
+        (_, Container::Silverlight) => Some(Strategy::ShortCycles),
+    }
+}
+
+/// The vantage points a service was measured from (§4.2: Netflix did not
+/// stream to France).
+pub fn valid_profiles(service: Service) -> &'static [NetworkProfile] {
+    match service {
+        Service::YouTube => &NetworkProfile::ALL,
+        Service::Netflix => &[NetworkProfile::Academic, NetworkProfile::Home],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_sim::SimDuration;
+
+    fn video() -> Video {
+        Video::new(1, 1_000_000, SimDuration::from_secs(600))
+    }
+
+    #[test]
+    fn mobile_clients_have_no_flash() {
+        assert!(logic_for(Client::Ipad, Container::Flash, video()).is_none());
+        assert!(logic_for(Client::Android, Container::FlashHd, video()).is_none());
+        assert!(table1_expected(Client::Ipad, Container::Flash).is_none());
+    }
+
+    #[test]
+    fn every_applicable_cell_builds() {
+        let mut cells = 0;
+        for client in Client::ALL {
+            for container in Container::ALL {
+                let logic = logic_for(client, container, video());
+                let expected = table1_expected(client, container);
+                assert_eq!(
+                    logic.is_some(),
+                    expected.is_some(),
+                    "{} / {} applicability mismatch",
+                    client.label(),
+                    container.label()
+                );
+                if logic.is_some() {
+                    cells += 1;
+                }
+            }
+        }
+        // 5 clients x 4 containers - 4 mobile Flash cells.
+        assert_eq!(cells, 16);
+    }
+
+    #[test]
+    fn flash_is_browser_independent() {
+        // §5.3: for Flash, the strategy does not depend on the application.
+        for client in [Client::InternetExplorer, Client::Firefox, Client::Chrome] {
+            assert_eq!(
+                table1_expected(client, Container::Flash),
+                Some(Strategy::ShortCycles)
+            );
+            assert_eq!(
+                table1_expected(client, Container::FlashHd),
+                Some(Strategy::NoOnOff)
+            );
+        }
+    }
+
+    #[test]
+    fn html5_depends_on_application() {
+        use Strategy::*;
+        assert_eq!(table1_expected(Client::InternetExplorer, Container::Html5), Some(ShortCycles));
+        assert_eq!(table1_expected(Client::Firefox, Container::Html5), Some(NoOnOff));
+        assert_eq!(table1_expected(Client::Chrome, Container::Html5), Some(LongCycles));
+        assert_eq!(table1_expected(Client::Ipad, Container::Html5), Some(Mixed));
+        assert_eq!(table1_expected(Client::Android, Container::Html5), Some(LongCycles));
+    }
+
+    #[test]
+    fn netflix_browsers_agree_android_differs() {
+        use Strategy::*;
+        for client in [Client::InternetExplorer, Client::Firefox, Client::Chrome, Client::Ipad] {
+            assert_eq!(table1_expected(client, Container::Silverlight), Some(ShortCycles));
+        }
+        assert_eq!(table1_expected(Client::Android, Container::Silverlight), Some(LongCycles));
+    }
+
+    #[test]
+    fn netflix_profiles_exclude_france() {
+        let profiles = valid_profiles(Service::Netflix);
+        assert!(!profiles.contains(&NetworkProfile::Research));
+        assert!(!profiles.contains(&NetworkProfile::Residence));
+        assert_eq!(valid_profiles(Service::YouTube).len(), 4);
+    }
+
+    #[test]
+    fn strategy_logic_exposes_uniform_accessors() {
+        let logic = logic_for(Client::Firefox, Container::Html5, video()).unwrap();
+        assert_eq!(logic.read_total(), 0);
+        assert_eq!(logic.video().encoding_bps, 1_000_000);
+        assert!(!logic.player().has_started());
+    }
+
+    #[test]
+    fn container_service_mapping() {
+        assert_eq!(Container::Silverlight.service(), Service::Netflix);
+        assert_eq!(Container::Flash.service(), Service::YouTube);
+        assert_eq!(Container::Html5.service(), Service::YouTube);
+    }
+}

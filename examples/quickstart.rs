@@ -1,0 +1,54 @@
+//! Quickstart: stream one video, watch the three phases appear, classify
+//! the strategy — the whole pipeline of the paper in ~40 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vstream::prelude::*;
+
+fn main() {
+    // A ten-minute, 1 Mbps video — the paper's default-resolution YouTube
+    // case — streamed over Flash from the Research network vantage point.
+    let video = Video::new(0, 1_000_000, SimDuration::from_secs(600));
+    let outcome = run_cell(
+        Client::Firefox,
+        Container::Flash,
+        video,
+        NetworkProfile::Research,
+        42,
+        SimDuration::from_secs(120),
+    )
+    .expect("a browser playing Flash is a valid Table 1 cell");
+
+    // The capture is what tcpdump would have recorded on the viewing
+    // machine.
+    let trace = &outcome.trace;
+    println!(
+        "captured {} packets, {:.1} MB downloaded over {:.0} s",
+        trace.len(),
+        trace.total_downloaded() as f64 / 1e6,
+        trace.duration().as_secs_f64()
+    );
+
+    // Decompose into buffering and steady-state phases (§4).
+    let cfg = AnalysisConfig::default();
+    let phases = SessionPhases::from_trace(trace, &cfg);
+    println!(
+        "buffering phase: {:.1} MB = {:.0} s of playback",
+        phases.buffering_bytes as f64 / 1e6,
+        phases.buffered_playback_time(video.encoding_bps as f64)
+    );
+    if let Some(k) = phases.accumulation_ratio(video.encoding_bps as f64) {
+        println!("accumulation ratio k = {k:.2} (the paper measures 1.25)");
+    }
+
+    // Classify the streaming strategy (§3).
+    let strategy = classify(trace, &cfg);
+    println!("strategy: {strategy}");
+
+    // And the player's side of the story.
+    let stats = outcome.player_stats();
+    println!(
+        "player: started after {:?}, {} stalls",
+        stats.startup_delay, stats.stalls
+    );
+}
