@@ -141,7 +141,7 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vstream_sim::SimRng;
 
     #[test]
     fn cdf_fraction_and_quantiles() {
@@ -199,47 +199,54 @@ mod tests {
         assert_eq!(pearson_correlation(&xs, &ys), 0.0);
     }
 
-    proptest! {
-        /// Quantile is monotone in q and brackets the sample range.
-        #[test]
-        fn prop_quantile_monotone(
-            samples in prop::collection::vec(-1e6f64..1e6, 1..200),
-            q1 in 0.0f64..1.0,
-            q2 in 0.0f64..1.0,
-        ) {
+    /// Quantile is monotone in q and brackets the sample range, over a
+    /// deterministic sweep of seeded random samples (formerly a proptest).
+    #[test]
+    fn quantile_monotone_random_samples() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(0xCDF_0000 + seed);
+            let n = 1 + rng.choose_index(200);
+            let samples: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e6, 1e6)).collect();
             let cdf = Cdf::new(samples);
+            let q1 = rng.uniform();
+            let q2 = rng.uniform();
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
-            prop_assert!(cdf.quantile(0.0) >= cdf.min());
-            prop_assert!(cdf.quantile(1.0) <= cdf.max());
+            assert!(cdf.quantile(lo) <= cdf.quantile(hi), "seed {seed}");
+            assert!(cdf.quantile(0.0) >= cdf.min(), "seed {seed}");
+            assert!(cdf.quantile(1.0) <= cdf.max(), "seed {seed}");
         }
+    }
 
-        /// fraction_at_or_below is a valid CDF: monotone, in [0, 1].
-        #[test]
-        fn prop_fraction_monotone(
-            samples in prop::collection::vec(-1e6f64..1e6, 1..200),
-            x1 in -1e6f64..1e6,
-            x2 in -1e6f64..1e6,
-        ) {
+    /// fraction_at_or_below is a valid CDF: monotone, in [0, 1].
+    #[test]
+    fn fraction_monotone_random_samples() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(0xF8AC_0000 + seed);
+            let n = 1 + rng.choose_index(200);
+            let samples: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e6, 1e6)).collect();
             let cdf = Cdf::new(samples);
+            let x1 = rng.uniform_range(-1e6, 1e6);
+            let x2 = rng.uniform_range(-1e6, 1e6);
             let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
             let f_lo = cdf.fraction_at_or_below(lo);
             let f_hi = cdf.fraction_at_or_below(hi);
-            prop_assert!((0.0..=1.0).contains(&f_lo));
-            prop_assert!(f_lo <= f_hi);
+            assert!((0.0..=1.0).contains(&f_lo), "seed {seed}");
+            assert!(f_lo <= f_hi, "seed {seed}");
         }
+    }
 
-        /// Correlation is symmetric and bounded.
-        #[test]
-        fn prop_correlation_bounded(
-            pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    /// Correlation is symmetric and bounded for random paired data.
+    #[test]
+    fn correlation_bounded_random_pairs() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(0xC0__0000 + seed);
+            let n = 2 + rng.choose_index(98);
+            let xs: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e3, 1e3)).collect();
+            let ys: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e3, 1e3)).collect();
             let r = pearson_correlation(&xs, &ys);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "seed {seed}: r = {r}");
             let r2 = pearson_correlation(&ys, &xs);
-            prop_assert!((r - r2).abs() < 1e-9);
+            assert!((r - r2).abs() < 1e-9, "seed {seed}");
         }
     }
 }

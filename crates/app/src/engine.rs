@@ -98,7 +98,10 @@ impl Engine {
     /// Creates an engine over `path` that captures until `capture_limit`.
     pub fn new(path: DuplexPath, seed: u64, capture_limit: SimDuration) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            // A streaming session keeps a few thousand in-flight
+            // packet/timer events at its busiest; pre-sizing avoids the
+            // first several binary-heap regrowths on the hot path.
+            queue: EventQueue::with_capacity(4096),
             path,
             rng: SimRng::new(seed),
             trace: Trace::new(),

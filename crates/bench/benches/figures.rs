@@ -1,4 +1,4 @@
-//! Criterion benchmarks: one per reproduced table/figure family.
+//! Benchmarks: one per reproduced table/figure family.
 //!
 //! Each benchmark regenerates a paper experiment at a reduced sample size
 //! (the experiments run whole streaming sessions through the packet-level
@@ -7,9 +7,11 @@
 //! regression guards on simulator performance: a TCP or engine slowdown
 //! shows up here immediately.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
+
+use vstream_bench::harness::Criterion;
+use vstream_bench::{criterion_group, criterion_main};
 
 use vstream::figures as f;
 

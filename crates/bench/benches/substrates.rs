@@ -2,12 +2,13 @@
 //! the simulator, session-engine event rates, and the analysis pipeline.
 //! These guard the performance the figure regenerations depend on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 use vstream::prelude::*;
 use vstream_analysis::OnOffAnalysis;
+use vstream_bench::harness::Criterion;
+use vstream_bench::{criterion_group, criterion_main};
 
 /// One bulk 180 s session: the most packet-dense workload (no pacing).
 fn bulk_session(seed: u64) -> usize {
@@ -80,6 +81,35 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batch throughput of the parallel session executor: the same 8-session
+/// fan-out serially and across all cores. Sessions/second is
+/// `8 / reported time`; the jobs-N row should beat jobs-1 by roughly the
+/// core count (the acceptance floor is 2x at `--jobs 4`).
+fn bench_sessions_per_sec(c: &mut Criterion) {
+    let specs: Vec<SessionSpec> = (0..8)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Firefox,
+                Container::Flash,
+                Video::new(i, 1_000_000, SimDuration::from_secs(2400)),
+                NetworkProfile::Research,
+                0x5E55 + i,
+                SimDuration::from_secs(180),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10).measurement_time(Duration::from_secs(30)).warm_up_time(Duration::from_secs(2));
+    g.bench_function("run_many_8_sessions_jobs1", |b| {
+        b.iter(|| black_box(run_many_jobs(black_box(&specs), 1)))
+    });
+    let all = vstream::default_jobs();
+    g.bench_function("run_many_8_sessions_jobs_all", |b| {
+        b.iter(|| black_box(run_many_jobs(black_box(&specs), all)))
+    });
+    g.finish();
+}
+
 fn bench_fluid_model(c: &mut Criterion) {
     use vstream_model::{FluidSim, FluidStrategy, PopulationModel};
     let pop = PopulationModel {
@@ -97,5 +127,11 @@ fn bench_fluid_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sessions, bench_analysis, bench_fluid_model);
+criterion_group!(
+    benches,
+    bench_sessions,
+    bench_analysis,
+    bench_sessions_per_sec,
+    bench_fluid_model
+);
 criterion_main!(benches);

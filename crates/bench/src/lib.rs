@@ -1,0 +1,204 @@
+//! A dependency-free benchmark harness with a Criterion-shaped API.
+//!
+//! The benches under `benches/` need exactly four things: benchmark groups,
+//! per-group sample/time knobs, `bench_function` with a `Bencher::iter`
+//! closure, and the `criterion_group!`/`criterion_main!` entry points. This
+//! module provides that subset over `std::time::Instant`, so the benchmarks
+//! build offline and keep working as regression guards.
+//!
+//! Each sample runs a fixed number of iterations (calibrated during warm-up
+//! so one sample lasts roughly `measurement_time / sample_size`); the report
+//! shows the min / median / max per-iteration time across samples. Passing
+//! a substring argument (`cargo bench -- fig9`) filters benchmarks by name;
+//! `--quick` (or `BENCH_QUICK=1`) caps warm-up and measurement at a second
+//! for smoke runs.
+
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Runs one benchmark's routine: `iter` is timed over a preset number
+    /// of iterations per sample.
+    pub struct Bencher {
+        iters: u64,
+        elapsed: Duration,
+    }
+
+    impl Bencher {
+        /// Times `routine` over this sample's iterations.
+        pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(routine());
+            }
+            self.elapsed = start.elapsed();
+        }
+    }
+
+    /// Top-level driver: parses the CLI filter once, hands out groups.
+    pub struct Criterion {
+        filter: Option<String>,
+        quick: bool,
+    }
+
+    impl Default for Criterion {
+        fn default() -> Self {
+            let mut filter = None;
+            let mut quick = std::env::var_os("BENCH_QUICK").is_some();
+            for arg in std::env::args().skip(1) {
+                match arg.as_str() {
+                    // Flags cargo-bench forwards that carry no meaning here.
+                    "--bench" | "--nocapture" => {}
+                    "--quick" => quick = true,
+                    s if s.starts_with('-') => {}
+                    s => filter = Some(s.to_string()),
+                }
+            }
+            Criterion { filter, quick }
+        }
+    }
+
+    impl Criterion {
+        /// Starts a named benchmark group.
+        pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+            BenchmarkGroup {
+                parent: self,
+                name: name.to_string(),
+                sample_size: 10,
+                measurement_time: Duration::from_secs(5),
+                warm_up_time: Duration::from_secs(3),
+            }
+        }
+    }
+
+    /// A group of related benchmarks sharing sampling parameters.
+    pub struct BenchmarkGroup<'a> {
+        parent: &'a Criterion,
+        name: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+    }
+
+    impl BenchmarkGroup<'_> {
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.sample_size = n.max(2);
+            self
+        }
+
+        pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+            self.measurement_time = d;
+            self
+        }
+
+        pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+            self.warm_up_time = d;
+            self
+        }
+
+        /// Runs one benchmark unless it is filtered out.
+        pub fn bench_function<F: FnMut(&mut Bencher)>(
+            &mut self,
+            id: &str,
+            mut f: F,
+        ) -> &mut Self {
+            let full = format!("{}/{id}", self.name);
+            if let Some(filter) = &self.parent.filter {
+                if !full.contains(filter.as_str()) {
+                    return self;
+                }
+            }
+            let (warm_up, measurement) = if self.parent.quick {
+                (Duration::from_millis(200), Duration::from_secs(1))
+            } else {
+                (self.warm_up_time, self.measurement_time)
+            };
+
+            // Warm up and calibrate: run single-iteration samples until the
+            // warm-up window closes, tracking the mean iteration time.
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            while warm_start.elapsed() < warm_up || warm_iters == 0 {
+                let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+                f(&mut b);
+                warm_iters += 1;
+            }
+            let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+            let per_sample = measurement.as_secs_f64() / self.sample_size as f64;
+            let iters = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+            let mut samples: Vec<f64> = (0..self.sample_size)
+                .map(|_| {
+                    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                    f(&mut b);
+                    b.elapsed.as_secs_f64() / iters as f64
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+            let median = samples[samples.len() / 2];
+            println!(
+                "{full:<45} time: [{} {} {}]  ({} samples x {iters} iters)",
+                fmt_time(samples[0]),
+                fmt_time(median),
+                fmt_time(*samples.last().expect("non-empty")),
+                samples.len(),
+            );
+            self
+        }
+
+        pub fn finish(&mut self) {}
+    }
+
+    fn fmt_time(secs: f64) -> String {
+        if secs >= 1.0 {
+            format!("{secs:.3} s")
+        } else if secs >= 1e-3 {
+            format!("{:.3} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.3} us", secs * 1e6)
+        } else {
+            format!("{:.1} ns", secs * 1e9)
+        }
+    }
+
+    /// Criterion-compatible entry-point macros: each group function takes
+    /// `&mut Criterion`; `criterion_main!` builds the `main`.
+    #[macro_export]
+    macro_rules! criterion_group {
+        ($name:ident, $($target:path),+ $(,)?) => {
+            fn $name(c: &mut $crate::harness::Criterion) {
+                $($target(c);)+
+            }
+        };
+    }
+
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:path),+ $(,)?) => {
+            fn main() {
+                let mut c = $crate::harness::Criterion::default();
+                $($group(&mut c);)+
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::harness::Criterion;
+
+    #[test]
+    fn harness_runs_a_trivial_benchmark() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        g.sample_size(2).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs > 0, "benchmark closure never ran");
+    }
+}

@@ -5,7 +5,11 @@
 //! repro table1 fig4 fig9     # a selection
 //! repro all --csv out/       # also write each figure/table as CSV
 //! repro all --seed 7 --n 20  # change the seed / per-network sample size
+//! repro all --jobs 4         # worker threads (default: all cores)
 //! ```
+//!
+//! Output is byte-identical for every `--jobs` value: session seeds derive
+//! from each session's identity, never from execution order.
 
 use std::fs;
 use std::path::PathBuf;
@@ -32,6 +36,7 @@ fn main() {
         match arg.as_str() {
             "--seed" => opts.seed = take_value(&mut args, "--seed"),
             "--n" => opts.n = take_value(&mut args, "--n"),
+            "--jobs" => vstream::set_default_jobs(take_value(&mut args, "--jobs")),
             "--csv" => {
                 let dir: String = take_value(&mut args, "--csv");
                 opts.csv_dir = Some(PathBuf::from(dir));
@@ -58,14 +63,16 @@ fn main() {
     }
 }
 
-fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> T
-where
-    T::Err: std::fmt::Debug,
-{
-    if args.is_empty() {
-        panic!("{flag} needs a value");
+fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> T {
+    if args.is_empty() || args[0].starts_with("--") {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
     }
-    args.remove(0).parse().unwrap_or_else(|e| panic!("bad {flag}: {e:?}"))
+    let raw = args.remove(0);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value {raw:?} for {flag}");
+        std::process::exit(2);
+    })
 }
 
 const ALL_IDS: [&str; 21] = [
@@ -75,7 +82,7 @@ const ALL_IDS: [&str; 21] = [
 ];
 
 fn print_usage() {
-    println!("usage: repro [ids...|all] [--seed N] [--n N] [--csv DIR]");
+    println!("usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR]");
     println!("ids: {}", ALL_IDS.join(" "));
 }
 

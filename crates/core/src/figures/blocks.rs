@@ -3,15 +3,23 @@
 
 use vstream_analysis::{AnalysisConfig, Cdf, OnOffAnalysis, SessionPhases};
 use vstream_net::NetworkProfile;
-use vstream_sim::SimRng;
+use vstream_sim::derive_seed;
 use vstream_workload::{Client, Container, Dataset};
 
 use crate::figures::CAPTURE;
 use crate::report::{FigureData, Series};
-use crate::session::run_cell;
+use crate::session::{map_many, SessionSpec};
+
+/// Stream tag separating block-figure engine seeds from every other
+/// `derive_seed` use of the same root seed.
+const STREAM_BLOCKS: u64 = 0x51E;
 
 /// Block sizes and accumulation ratios pooled over `n` sessions of one cell
 /// on one profile.
+///
+/// Each session's engine seed is derived from its identity
+/// `(client, container, profile, index)`, not drawn from a shared RNG, so
+/// the sessions are order-independent and run as a parallel batch.
 fn steady_state_samples(
     client: Client,
     container: Container,
@@ -21,26 +29,38 @@ fn steady_state_samples(
     n: usize,
 ) -> (Vec<f64>, Vec<f64>) {
     let cfg = AnalysisConfig::default();
-    let mut rng = SimRng::new(seed ^ 0x51E); // distinct stream from sampling
-    let videos = dataset.sample_many(seed, n);
+    let specs: Vec<SessionSpec> = (0..n)
+        .map(|i| {
+            let engine_seed = derive_seed(
+                seed,
+                &[STREAM_BLOCKS, client as u64, container as u64, profile as u64, i as u64],
+            );
+            SessionSpec::new(
+                client,
+                container,
+                dataset.sample_indexed(seed, i as u64),
+                profile,
+                engine_seed,
+                CAPTURE,
+            )
+        })
+        .collect();
+    let per_session = map_many(&specs, |i, out| {
+        let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
+        let blocks: Vec<f64> = analysis
+            .steady_state_block_sizes()
+            .into_iter()
+            .map(|b| b as f64)
+            .collect();
+        let phases = SessionPhases::from_trace(&out.trace, &cfg);
+        let ratio = phases.accumulation_ratio(specs[i].video.encoding_bps as f64);
+        (blocks, ratio)
+    });
     let mut blocks = Vec::new();
     let mut ratios = Vec::new();
-    for video in videos {
-        let engine_seed = rng.uniform_u64(0, u64::MAX);
-        let Some(out) = run_cell(client, container, video, profile, engine_seed, CAPTURE) else {
-            continue;
-        };
-        let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
-        blocks.extend(
-            analysis
-                .steady_state_block_sizes()
-                .into_iter()
-                .map(|b| b as f64),
-        );
-        let phases = SessionPhases::from_trace(&out.trace, &cfg);
-        if let Some(k) = phases.accumulation_ratio(video.encoding_bps as f64) {
-            ratios.push(k);
-        }
+    for (session_blocks, ratio) in per_session.into_iter().flatten() {
+        blocks.extend(session_blocks);
+        ratios.extend(ratio);
     }
     (blocks, ratios)
 }
@@ -165,29 +185,31 @@ pub fn fig6b_long_blocks(seed: u64, n: usize) -> FigureData {
 /// the rate.
 pub fn fig7b_ipad_block_vs_rate(seed: u64, n: usize) -> FigureData {
     let cfg = AnalysisConfig::default();
-    let mut rng = SimRng::new(seed ^ 0x1AB);
-    let videos = Dataset::YouMob.sample_many(seed, n);
-    let mut points = Vec::new();
-    for video in videos {
-        let engine_seed = rng.uniform_u64(0, u64::MAX);
-        let Some(out) = run_cell(
-            Client::Ipad,
-            Container::Html5,
-            video,
-            NetworkProfile::Research,
-            engine_seed,
-            CAPTURE,
-        ) else {
-            continue;
-        };
+    let specs: Vec<SessionSpec> = (0..n)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Ipad,
+                Container::Html5,
+                Dataset::YouMob.sample_indexed(seed, i as u64),
+                NetworkProfile::Research,
+                derive_seed(seed, &[0x1AB, i as u64]),
+                CAPTURE,
+            )
+        })
+        .collect();
+    let mut points: Vec<(f64, f64)> = map_many(&specs, |i, out| {
         let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
         let blocks = analysis.steady_state_block_sizes();
         if blocks.is_empty() {
-            continue;
+            return None;
         }
         let mean = blocks.iter().sum::<u64>() as f64 / blocks.len() as f64;
-        points.push((video.encoding_bps as f64 / 1e6, mean / 1e3));
-    }
+        Some((specs[i].video.encoding_bps as f64 / 1e6, mean / 1e3))
+    })
+    .into_iter()
+    .flatten()
+    .flatten()
+    .collect();
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     FigureData {
         id: "fig7b",

@@ -17,7 +17,7 @@ use vstream_app::strategies::{ServerPacedConfig, ServerPacedLogic};
 use vstream_app::{CrossTraffic, SessionLogic, Video};
 use vstream_model::{FluidSim, FluidStrategy, PopulationModel};
 use vstream_net::{DuplexPath, LinkConfig, LossModel, NetworkProfile};
-use vstream_sim::{SimDuration, SimRng};
+use vstream_sim::{derive_seed, par_indexed, SimDuration, SimRng};
 use vstream_tcp::{CcAlgorithm, TcpConfig};
 
 use crate::figures::long_video;
@@ -60,41 +60,48 @@ impl SessionLogic for CustomPaced {
 /// "an accumulation ratio larger than one improves the resilience to
 /// transient network congestion".
 pub fn ext_stall_vs_accumulation(seed: u64, n: usize) -> FigureData {
-    let mut points = Vec::new();
-    let mut rng = SimRng::new(seed ^ 0x57A);
-    for k in [0.95, 1.0, 1.05, 1.1, 1.25, 1.5] {
-        let mut stall_secs = 0.0f64;
-        for _ in 0..n {
-            let video = Video::new(1, 2_500_000, SimDuration::from_secs(2400));
-            let cfg = ServerPacedConfig {
-                accumulation: k,
-                // A shallow startup buffer isolates the steady-state
-                // resilience effect under study.
-                buffer_playback_secs: 5.0,
-                ..ServerPacedConfig::default()
-            };
-            let mut eng = Engine::new(
-                NetworkProfile::Home.build_path(), // 20 Mbps downlink
-                rng.uniform_u64(0, u64::MAX),
-                SimDuration::from_secs(180),
-            );
-            // Occasional large bursts of competing traffic (mean 1.2 MB
-            // every 3 s, exponential sizes): the link is fine on average,
-            // but burst clusters starve the stream for seconds at a time —
-            // the "transient network congestion" §3 says the accumulation
-            // ratio guards against. Headroom (k > 1) both absorbs an
-            // outage (deeper accumulated buffer) and refills the buffer
-            // faster afterwards (at (k-1)·e).
-            eng.set_cross_traffic(CrossTraffic {
-                mean_period: SimDuration::from_secs(3),
-                mean_burst_bytes: 1_200_000,
-            });
-            let mut logic = ServerPacedLogic::new(cfg, video);
-            eng.run(&mut logic);
-            stall_secs += logic.player.stats().stall_time.as_secs_f64();
-        }
-        points.push((k, stall_secs / n as f64));
-    }
+    const RATIOS: [f64; 6] = [0.95, 1.0, 1.05, 1.1, 1.25, 1.5];
+    // Engine seeds are derived from each session's identity (ratio index,
+    // session index), not drawn from a shared RNG, so every (k, i) cell is
+    // order-independent and the whole k × n sweep runs as one parallel batch.
+    let stalls = par_indexed(RATIOS.len() * n, crate::session::default_jobs(), |j| {
+        let (ki, i) = (j / n, j % n);
+        let video = Video::new(1, 2_500_000, SimDuration::from_secs(2400));
+        let cfg = ServerPacedConfig {
+            accumulation: RATIOS[ki],
+            // A shallow startup buffer isolates the steady-state
+            // resilience effect under study.
+            buffer_playback_secs: 5.0,
+            ..ServerPacedConfig::default()
+        };
+        let mut eng = Engine::new(
+            NetworkProfile::Home.build_path(), // 20 Mbps downlink
+            derive_seed(seed, &[0x57A, ki as u64, i as u64]),
+            SimDuration::from_secs(180),
+        );
+        // Occasional large bursts of competing traffic (mean 1.2 MB
+        // every 3 s, exponential sizes): the link is fine on average,
+        // but burst clusters starve the stream for seconds at a time —
+        // the "transient network congestion" §3 says the accumulation
+        // ratio guards against. Headroom (k > 1) both absorbs an
+        // outage (deeper accumulated buffer) and refills the buffer
+        // faster afterwards (at (k-1)·e).
+        eng.set_cross_traffic(CrossTraffic {
+            mean_period: SimDuration::from_secs(3),
+            mean_burst_bytes: 1_200_000,
+        });
+        let mut logic = ServerPacedLogic::new(cfg, video);
+        eng.run(&mut logic);
+        logic.player.stats().stall_time.as_secs_f64()
+    });
+    let points: Vec<(f64, f64)> = RATIOS
+        .iter()
+        .enumerate()
+        .map(|(ki, &k)| {
+            let total: f64 = stalls[ki * n..(ki + 1) * n].iter().sum();
+            (k, total / n as f64)
+        })
+        .collect();
     FigureData {
         id: "ext-stalls",
         title: "Mean stall time vs accumulation ratio under bursty ~50% cross traffic".into(),
@@ -128,26 +135,36 @@ pub fn ext_sack_ablation_with_runs(seed: u64, runs: u64) -> TableData {
         ("bursty ~0.5% (GE)", LossModel::gilbert_elliott(0.0008, 0.12, 0.0, 0.9)),
         ("bursty ~1.5% (GE)", LossModel::gilbert_elliott(0.0025, 0.12, 0.0, 0.9)),
     ];
-    for (label, loss) in cases {
-        let mut times = Vec::new();
-        for sack in [true, false] {
-            let total: f64 = (0..runs)
-                .map(|i| {
-                    bulk_transfer_time(
-                        seed.wrapping_add(i * 7919),
-                        loss.clone(),
-                        sack,
-                        CcAlgorithm::Reno,
-                    )
-                })
-                .sum();
-            times.push(total / runs as f64);
-        }
+    // Every (loss model, SACK, run) transfer is independent — each is
+    // seeded by its run index alone (the SACK pairing intentionally reuses
+    // the same seed), so the whole sweep runs as one parallel batch.
+    let per_cell = runs as usize;
+    let totals = par_indexed(
+        cases.len() * 2 * per_cell,
+        crate::session::default_jobs(),
+        |j| {
+            let case = j / (2 * per_cell);
+            let sack = (j / per_cell) % 2 == 0;
+            let i = (j % per_cell) as u64;
+            bulk_transfer_time(
+                seed.wrapping_add(i * 7919),
+                cases[case].1.clone(),
+                sack,
+                CcAlgorithm::Reno,
+            )
+        },
+    );
+    for (case, (label, _)) in cases.iter().enumerate() {
+        let mean = |sack_slot: usize| -> f64 {
+            let start = (case * 2 + sack_slot) * per_cell;
+            totals[start..start + per_cell].iter().sum::<f64>() / runs as f64
+        };
+        let (with_sack, without) = (mean(0), mean(1));
         rows.push(vec![
             label.to_string(),
-            format!("{:.2}", times[0]),
-            format!("{:.2}", times[1]),
-            format!("{:.2}x", times[1] / times[0]),
+            format!("{with_sack:.2}"),
+            format!("{without:.2}"),
+            format!("{:.2}x", without / with_sack),
         ]);
     }
     TableData {
@@ -214,8 +231,11 @@ fn bulk_transfer_time(seed: u64, loss: LossModel, sack: bool, congestion: CcAlgo
 /// strategy classification unchanged. Returns one row per controller.
 pub fn ext_congestion_ablation(seed: u64) -> TableData {
     let cfg = AnalysisConfig::default();
-    let mut rows = Vec::new();
-    for (name, algo) in [("Reno", CcAlgorithm::Reno), ("CUBIC", CcAlgorithm::Cubic)] {
+    let controllers = [("Reno", CcAlgorithm::Reno), ("CUBIC", CcAlgorithm::Cubic)];
+    // Both controllers intentionally share the root seed (identical network
+    // conditions); the two sessions run as a parallel batch.
+    let rows = par_indexed(controllers.len(), crate::session::default_jobs(), |i| {
+        let (name, algo) = controllers[i];
         let video = long_video(1, 1_000_000);
         let mut eng = Engine::new(
             NetworkProfile::Research.build_path(),
@@ -244,13 +264,13 @@ pub fn ext_congestion_ablation(seed: u64) -> TableData {
         let phases = SessionPhases::from_trace(eng.trace(), &cfg);
         let k = phases.accumulation_ratio(1e6).unwrap_or(f64::NAN);
         let strategy = classify(eng.trace(), &cfg);
-        rows.push(vec![
+        vec![
             name.to_string(),
             format!("{:.0}", median_block / 1e3),
             format!("{k:.2}"),
             strategy.table_label().to_string(),
-        ]);
-    }
+        ]
+    });
     TableData {
         id: "ext-cc",
         title: "Congestion-control ablation: Flash strategy structure".into(),
@@ -275,22 +295,25 @@ pub fn ext_third_moment(seed: u64, horizon_secs: f64) -> TableData {
         duration_secs: (120.0, 360.0),
         bandwidth_bps: (5e6, 15e6),
     };
-    let mut rows = Vec::new();
-    for (name, strategy) in [
+    let strategies = [
         ("no ON-OFF", FluidStrategy::Bulk),
         ("short ON-OFF", FluidStrategy::short_cycles()),
         ("long ON-OFF", FluidStrategy::long_cycles()),
-    ] {
+    ];
+    // Each strategy's Monte-Carlo deliberately reuses the root seed (same
+    // arrival process under every strategy); the rows run in parallel.
+    let rows = par_indexed(strategies.len(), crate::session::default_jobs(), |i| {
+        let (name, strategy) = strategies[i];
         let sim = FluidSim::new(pop.clone(), strategy);
         let (mean, var, m3) = sim.moments3(seed, horizon_secs, 0.5);
         let skew = m3 / var.powf(1.5);
-        rows.push(vec![
+        vec![
             name.to_string(),
             format!("{:.1}", mean / 1e6),
             format!("{:.3}", var / 1e12),
             format!("{skew:.3}"),
-        ]);
-    }
+        ]
+    });
     TableData {
         id: "ext-m3",
         title: "Higher moments of the aggregate rate, per strategy".into(),
@@ -318,37 +341,51 @@ pub fn ext_third_moment(seed: u64, horizon_secs: f64) -> TableData {
 pub fn ext_aggregate_packet_level(seed: u64, n_sessions: usize, window_secs: f64) -> TableData {
     use vstream_app::strategies::BulkLogic;
 
-    let mut rng = SimRng::new(seed ^ 0xA66);
     // Session population: bulk downloads (the no-ON-OFF strategy, whose
     // instantaneous rate is the cleanest match to the model's X_n(t) = G).
-    let mut offsets_and_series: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
+    //
+    // The population parameters come from one shared RNG, so they are
+    // sampled serially first (preserving the original draw order exactly);
+    // the expensive packet-level runs then execute as a parallel batch.
+    let mut rng = SimRng::new(seed ^ 0xA66);
+    let params: Vec<(u64, f64, f64, u64)> = (0..n_sessions)
+        .map(|_| {
+            let e = rng.uniform_range(0.5e6, 1.5e6) as u64;
+            let l = rng.uniform_range(60.0, 240.0);
+            let offset = rng.uniform_range(0.0, window_secs);
+            let engine_seed = rng.uniform_u64(0, u64::MAX);
+            (e, l, offset, engine_seed)
+        })
+        .collect();
     let mut sum_size_bits = 0.0;
     let mut sum_e = 0.0;
     let mut sum_l = 0.0;
-    let bin = SimDuration::from_millis(10);
-    for _ in 0..n_sessions {
-        let e = rng.uniform_range(0.5e6, 1.5e6) as u64;
-        let l = rng.uniform_range(60.0, 240.0);
+    for &(e, l, _, _) in &params {
         let video = Video::new(0, e, SimDuration::from_secs_f64(l));
         sum_size_bits += video.size_bytes() as f64 * 8.0;
         sum_e += e as f64;
         sum_l += l;
-        let offset = rng.uniform_range(0.0, window_secs);
-        let mut eng = Engine::new(
-            NetworkProfile::Research.build_path(),
-            rng.uniform_u64(0, u64::MAX),
-            SimDuration::from_secs_f64(l + 60.0),
-        );
-        let mut logic = BulkLogic::new(video);
-        eng.run(&mut logic);
-        let series: Vec<(f64, f64)> = eng
-            .trace()
-            .throughput_timeline(bin)
-            .into_iter()
-            .map(|(t, bps)| (t.as_secs_f64(), bps))
-            .collect();
-        offsets_and_series.push((offset, series));
     }
+    let bin = SimDuration::from_millis(10);
+    let offsets_and_series: Vec<(f64, Vec<(f64, f64)>)> =
+        par_indexed(n_sessions, crate::session::default_jobs(), |i| {
+            let (e, l, offset, engine_seed) = params[i];
+            let video = Video::new(0, e, SimDuration::from_secs_f64(l));
+            let mut eng = Engine::new(
+                NetworkProfile::Research.build_path(),
+                engine_seed,
+                SimDuration::from_secs_f64(l + 60.0),
+            );
+            let mut logic = BulkLogic::new(video);
+            eng.run(&mut logic);
+            let series: Vec<(f64, f64)> = eng
+                .trace()
+                .throughput_timeline(bin)
+                .into_iter()
+                .map(|(t, bps)| (t.as_secs_f64(), bps))
+                .collect();
+            (offset, series)
+        });
 
     // Superpose onto a fine grid covering the window plus spill-over.
     let dt = bin.as_secs_f64();

@@ -6,7 +6,7 @@ use vstream_model::{
     aggregate_mean_bps, aggregate_variance, full_download_duration_threshold, unused_bytes,
     FluidSim, FluidStrategy, PopulationModel,
 };
-use vstream_sim::SimRng;
+use vstream_sim::{par_indexed, SimRng};
 
 use crate::report::{FigureData, Series, TableData};
 
@@ -23,28 +23,36 @@ fn population(lambda: f64) -> PopulationModel {
 /// strategy, over a λ sweep. Demonstrates Eq. (3)/(4) and the
 /// strategy-independence result.
 pub fn model_aggregate_moments(seed: u64, horizon_secs: f64) -> TableData {
-    let mut rows = Vec::new();
-    for lambda in [0.5, 1.0, 2.0] {
-        let pop = population(lambda);
-        let mean_cf = pop.expected_mean_bps();
-        let var_cf = pop.expected_variance();
-        for (name, strategy) in [
-            ("no ON-OFF", FluidStrategy::Bulk),
-            ("short ON-OFF", FluidStrategy::short_cycles()),
-            ("long ON-OFF", FluidStrategy::long_cycles()),
-        ] {
-            let sim = FluidSim::new(pop.clone(), strategy);
+    const LAMBDAS: [f64; 3] = [0.5, 1.0, 2.0];
+    let strategies = [
+        ("no ON-OFF", FluidStrategy::Bulk),
+        ("short ON-OFF", FluidStrategy::short_cycles()),
+        ("long ON-OFF", FluidStrategy::long_cycles()),
+    ];
+    // Every (λ, strategy) Monte-Carlo intentionally reuses the root seed
+    // (same arrival process throughout); the nine rows run as one parallel
+    // batch and are collected in sweep order.
+    let rows = par_indexed(
+        LAMBDAS.len() * strategies.len(),
+        crate::session::default_jobs(),
+        |j| {
+            let lambda = LAMBDAS[j / strategies.len()];
+            let (name, strategy) = strategies[j % strategies.len()];
+            let pop = population(lambda);
+            let mean_cf = pop.expected_mean_bps();
+            let var_cf = pop.expected_variance();
+            let sim = FluidSim::new(pop, strategy);
             let (mean, var) = sim.moments(seed, horizon_secs, 0.5);
-            rows.push(vec![
+            vec![
                 format!("{lambda:.1}"),
                 name.to_string(),
                 format!("{:.1}", mean_cf / 1e6),
                 format!("{:.1}", mean / 1e6),
                 format!("{:.3}", var_cf / 1e12),
                 format!("{:.3}", var / 1e12),
-            ]);
-        }
-    }
+            ]
+        },
+    );
     TableData {
         id: "model-agg",
         title: "Aggregate traffic moments: closed form (Eq. 3/4) vs Monte Carlo".into(),

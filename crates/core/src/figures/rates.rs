@@ -3,39 +3,41 @@
 
 use vstream_analysis::{first_rtt_bytes, pearson_correlation, AnalysisConfig, Cdf};
 use vstream_net::NetworkProfile;
-use vstream_sim::SimRng;
+use vstream_sim::derive_seed;
 use vstream_workload::{Client, Container, Dataset};
 
 use crate::figures::{long_video, CAPTURE};
 use crate::report::{FigureData, Series};
-use crate::session::run_cell;
+use crate::session::{map_many, SessionSpec};
 
 /// Fig. 8: for bulk (no ON-OFF) sessions the download rate is set by the
 /// available bandwidth, not the encoding rate. Returns the scatter plus the
 /// rate/download-rate correlation (the paper reports none visible).
 pub fn fig8_bulk_rates(seed: u64, n: usize) -> (FigureData, f64) {
-    let mut rng = SimRng::new(seed ^ 0xF16);
-    let videos = Dataset::YouHd.sample_many(seed, n);
-    let mut points = Vec::new();
-    for video in videos {
-        let engine_seed = rng.uniform_u64(0, u64::MAX);
-        let Some(out) = run_cell(
-            Client::Firefox, // any browser: Flash HD is browser-independent
-            Container::FlashHd,
-            video,
-            NetworkProfile::Research,
-            engine_seed,
-            CAPTURE,
-        ) else {
-            continue;
-        };
+    let specs: Vec<SessionSpec> = (0..n)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Firefox, // any browser: Flash HD is browser-independent
+                Container::FlashHd,
+                Dataset::YouHd.sample_indexed(seed, i as u64),
+                NetworkProfile::Research,
+                derive_seed(seed, &[0xF16, i as u64]),
+                CAPTURE,
+            )
+        })
+        .collect();
+    let points: Vec<(f64, f64)> = map_many(&specs, |i, out| {
         let duration = out.trace.duration().as_secs_f64();
         if duration <= 0.0 {
-            continue;
+            return None;
         }
         let rate_mbps = out.trace.total_downloaded() as f64 * 8.0 / duration / 1e6;
-        points.push((video.encoding_bps as f64 / 1e6, rate_mbps));
-    }
+        Some((specs[i].video.encoding_bps as f64 / 1e6, rate_mbps))
+    })
+    .into_iter()
+    .flatten()
+    .flatten()
+    .collect();
     let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
     let corr = pearson_correlation(&xs, &ys);
     (
@@ -63,23 +65,33 @@ pub fn fig9_ack_clock(seed: u64) -> FigureData {
         ("Android", Client::Android, Container::Html5, 1_200_000),
         ("iPad", Client::Ipad, Container::Html5, 1_500_000),
     ];
-    let mut series = Vec::new();
-    for (i, (label, client, container, rate)) in cases.into_iter().enumerate() {
-        let out = run_cell(
-            client,
-            container,
-            long_video(i as u64, rate),
-            NetworkProfile::Research,
-            seed.wrapping_add(i as u64),
-            CAPTURE,
-        )
-        .expect("valid cell");
+    // Seeds are already identity-indexed (seed + i); the five cells run as
+    // one parallel batch.
+    let specs: Vec<SessionSpec> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, client, container, rate))| {
+            SessionSpec::new(
+                client,
+                container,
+                long_video(i as u64, rate),
+                NetworkProfile::Research,
+                seed.wrapping_add(i as u64),
+                CAPTURE,
+            )
+        })
+        .collect();
+    let per_case = map_many(&specs, |_, out| {
         let samples = first_rtt_bytes(&out.trace, &cfg, out.base_rtt);
-        let kb: Vec<f64> = samples.iter().map(|&b| b as f64 / 1e3).collect();
+        samples.iter().map(|&b| b as f64 / 1e3).collect::<Vec<f64>>()
+    });
+    let mut series = Vec::new();
+    for (case, kb) in cases.iter().zip(per_case) {
+        let kb = kb.expect("valid cell");
         if kb.is_empty() {
             continue;
         }
-        series.push(Series::new(label, Cdf::new(kb).points()));
+        series.push(Series::new(case.0, Cdf::new(kb).points()));
     }
     FigureData {
         id: "fig9",
@@ -148,7 +160,10 @@ pub fn fig9_idle_reset_ablation(seed: u64) -> (f64, f64) {
         }
         Cdf::new(kb).median()
     };
-    (measure(false, seed), measure(true, seed))
+    let medians = vstream_sim::par_indexed(2, crate::session::default_jobs(), |i| {
+        measure(i == 1, seed)
+    });
+    (medians[0], medians[1])
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use vstream_workload::{table1_expected, valid_profiles, Client, Container};
 
 use crate::figures::{long_video, CAPTURE};
 use crate::report::TableData;
-use crate::session::{run_cell, run_cell_interrupted};
+use crate::session::{map_many, run_many, SessionSpec};
 
 /// One verified cell of Table 1.
 #[derive(Clone, Debug)]
@@ -34,13 +34,14 @@ impl MatrixCell {
 /// plus the raw cells for programmatic checks.
 pub fn table1_strategy_matrix(seed: u64) -> (TableData, Vec<MatrixCell>) {
     let cfg = AnalysisConfig::default();
-    let mut rows = Vec::new();
-    let mut cells = Vec::new();
+    // First pass: enumerate the applicable cells. The seed formula indexes
+    // cells by their enumeration position, so it is already
+    // order-independent; all cells then run as one parallel batch.
+    let mut specs = Vec::new();
+    let mut expectations = Vec::new();
     for client in Client::ALL {
-        let mut row = vec![client.label().to_string()];
         for container in Container::ALL {
             let Some(expected) = table1_expected(client, container) else {
-                row.push("-".into());
                 continue;
             };
             // A representative video: mid-range encoding rate for the
@@ -56,16 +57,31 @@ pub fn table1_strategy_matrix(seed: u64) -> (TableData, Vec<MatrixCell>) {
                 _ => 1_000_000,
             };
             let profile = valid_profiles(container.service())[0];
-            let out = run_cell(
+            specs.push(SessionSpec::new(
                 client,
                 container,
                 long_video(1, rate),
                 profile,
-                seed ^ (cells.len() as u64) << 8,
+                seed ^ (specs.len() as u64) << 8,
                 CAPTURE,
-            )
-            .expect("applicable cell");
-            let measured = classify(&out.trace, &cfg);
+            ));
+            expectations.push(expected);
+        }
+    }
+    let measured = map_many(&specs, |_, out| classify(&out.trace, &cfg));
+
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for client in Client::ALL {
+        let mut row = vec![client.label().to_string()];
+        for container in Container::ALL {
+            if table1_expected(client, container).is_none() {
+                row.push("-".into());
+                continue;
+            }
+            let idx = cells.len();
+            let expected = expectations[idx];
+            let measured = measured[idx].expect("applicable cell");
             let marker = if measured == expected { "" } else { " (!)" };
             row.push(format!("{}{marker}", measured.table_label()));
             cells.push(MatrixCell {
@@ -104,18 +120,19 @@ pub fn table2_strategy_comparison(seed: u64, watch_secs: u64) -> TableData {
         ("Long ON-OFF", Client::Chrome, Container::Html5, "application layer"),
         ("Short ON-OFF", Client::Firefox, Container::Flash, "application layer"),
     ];
+    // All three cells share the root seed (their identity is the cell
+    // itself); they run as one parallel batch.
+    let specs: Vec<SessionSpec> = cases
+        .iter()
+        .map(|&(_, client, container, _)| {
+            SessionSpec::new(client, container, video, NetworkProfile::Research, seed, CAPTURE)
+                .interrupted(watch)
+        })
+        .collect();
+    let outs = run_many(&specs);
     let mut rows = Vec::new();
-    for (name, client, container, engineering) in cases {
-        let out = run_cell_interrupted(
-            client,
-            container,
-            video,
-            NetworkProfile::Research,
-            seed,
-            CAPTURE,
-            watch,
-        )
-        .expect("applicable cell");
+    for ((name, _, _, engineering), out) in cases.into_iter().zip(outs) {
+        let out = out.expect("applicable cell");
         let peak_mb = out.player_stats().peak_buffer_bytes as f64 / 1e6;
         let downloaded = out.trace.total_downloaded() as f64;
         let watched = video.playback_bytes(watch_secs as f64) as f64;

@@ -6,7 +6,7 @@ use vstream_workload::{Client, Container};
 
 use crate::figures::{downsample_mb, long_video, CAPTURE};
 use crate::report::{FigureData, Series};
-use crate::session::run_cell;
+use crate::session::{run_cell, run_many, SessionSpec};
 
 /// Fig. 1: the phases of a video download — buffering phase, then ON-OFF
 /// cycles in the steady state. One server-paced (Flash) session.
@@ -38,24 +38,28 @@ pub fn fig1_phases(seed: u64) -> FigureData {
 /// periodically collapses to zero (client-side pacing).
 pub fn fig2_short_onoff(seed: u64) -> (FigureData, FigureData) {
     let window = SimDuration::from_secs(10);
-    let flash = run_cell(
-        Client::InternetExplorer,
-        Container::Flash,
-        long_video(1, 1_500_000),
-        NetworkProfile::Research,
-        seed,
-        window,
-    )
-    .expect("valid cell");
-    let html5 = run_cell(
-        Client::InternetExplorer,
-        Container::Html5,
-        long_video(2, 1_500_000),
-        NetworkProfile::Research,
-        seed.wrapping_add(1),
-        window,
-    )
-    .expect("valid cell");
+    // Identity-indexed seeds (seed, seed + 1): the two sessions run as one
+    // parallel batch.
+    let mut outs = run_many(&[
+        SessionSpec::new(
+            Client::InternetExplorer,
+            Container::Flash,
+            long_video(1, 1_500_000),
+            NetworkProfile::Research,
+            seed,
+            window,
+        ),
+        SessionSpec::new(
+            Client::InternetExplorer,
+            Container::Html5,
+            long_video(2, 1_500_000),
+            NetworkProfile::Research,
+            seed.wrapping_add(1),
+            window,
+        ),
+    ]);
+    let html5 = outs.pop().flatten().expect("valid cell");
+    let flash = outs.pop().flatten().expect("valid cell");
 
     let download = FigureData {
         id: "fig2a",
@@ -131,24 +135,26 @@ pub fn fig6a_long_onoff(seed: u64) -> FigureData {
 /// buffering vs short cycles).
 pub fn fig7a_ipad_traces(seed: u64) -> FigureData {
     let window = SimDuration::from_secs(50);
-    let video1 = run_cell(
-        Client::Ipad,
-        Container::Html5,
-        long_video(1, 2_500_000),
-        NetworkProfile::Research,
-        seed,
-        window,
-    )
-    .expect("valid cell");
-    let video2 = run_cell(
-        Client::Ipad,
-        Container::Html5,
-        long_video(2, 400_000),
-        NetworkProfile::Research,
-        seed.wrapping_add(1),
-        window,
-    )
-    .expect("valid cell");
+    let mut outs = run_many(&[
+        SessionSpec::new(
+            Client::Ipad,
+            Container::Html5,
+            long_video(1, 2_500_000),
+            NetworkProfile::Research,
+            seed,
+            window,
+        ),
+        SessionSpec::new(
+            Client::Ipad,
+            Container::Html5,
+            long_video(2, 400_000),
+            NetworkProfile::Research,
+            seed.wrapping_add(1),
+            window,
+        ),
+    ]);
+    let video2 = outs.pop().flatten().expect("valid cell");
+    let video1 = outs.pop().flatten().expect("valid cell");
     FigureData {
         id: "fig7a",
         title: "iPad: different streaming patterns for two videos".into(),
@@ -170,33 +176,35 @@ pub fn fig7a_ipad_traces(seed: u64) -> FigureData {
 /// Fig. 10: Netflix traces — short ON-OFF cycles for PC and iPad (a), long
 /// cycles for Android (b). All on the Academic network, as measured.
 pub fn fig10_netflix_traces(seed: u64) -> (FigureData, FigureData) {
-    let pc = run_cell(
-        Client::Firefox,
-        Container::Silverlight,
-        long_video(1, 3_000_000),
-        NetworkProfile::Academic,
-        seed,
-        SimDuration::from_secs(100),
-    )
-    .expect("valid cell");
-    let ipad = run_cell(
-        Client::Ipad,
-        Container::Silverlight,
-        long_video(2, 1_600_000),
-        NetworkProfile::Academic,
-        seed.wrapping_add(1),
-        SimDuration::from_secs(100),
-    )
-    .expect("valid cell");
-    let android = run_cell(
-        Client::Android,
-        Container::Silverlight,
-        long_video(3, 1_600_000),
-        NetworkProfile::Academic,
-        seed.wrapping_add(2),
-        SimDuration::from_secs(150),
-    )
-    .expect("valid cell");
+    let mut outs = run_many(&[
+        SessionSpec::new(
+            Client::Firefox,
+            Container::Silverlight,
+            long_video(1, 3_000_000),
+            NetworkProfile::Academic,
+            seed,
+            SimDuration::from_secs(100),
+        ),
+        SessionSpec::new(
+            Client::Ipad,
+            Container::Silverlight,
+            long_video(2, 1_600_000),
+            NetworkProfile::Academic,
+            seed.wrapping_add(1),
+            SimDuration::from_secs(100),
+        ),
+        SessionSpec::new(
+            Client::Android,
+            Container::Silverlight,
+            long_video(3, 1_600_000),
+            NetworkProfile::Academic,
+            seed.wrapping_add(2),
+            SimDuration::from_secs(150),
+        ),
+    ]);
+    let android = outs.pop().flatten().expect("valid cell");
+    let ipad = outs.pop().flatten().expect("valid cell");
+    let pc = outs.pop().flatten().expect("valid cell");
 
     let short = FigureData {
         id: "fig10a",

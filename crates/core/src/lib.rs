@@ -43,19 +43,26 @@
 //! | `vstream` (this crate) | experiment runner: one function per figure/table |
 //!
 //! The [`figures`] module regenerates every figure and table of the paper's
-//! evaluation; the `vstream-bench` crate wraps them in Criterion benchmarks
-//! and a `repro` binary.
+//! evaluation, fanning each figure's independent sessions out across cores
+//! through [`session::run_many`] (see `--jobs` on the `repro` binary; output
+//! is byte-identical for any worker count). The `vstream-bench` crate wraps
+//! the figures in benchmarks and the `repro` binary.
 
 pub mod figures;
 pub mod report;
 pub mod session;
 
-pub use session::{run_cell, CellOutcome};
+pub use session::{
+    default_jobs, map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome,
+    SessionSpec,
+};
 
 /// The most common imports for driving experiments.
 pub mod prelude {
     pub use crate::report::{FigureData, Series, TableData};
-    pub use crate::session::{run_cell, CellOutcome};
+    pub use crate::session::{
+        map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome, SessionSpec,
+    };
     pub use vstream_analysis::{classify, AnalysisConfig, Cdf, SessionPhases, Strategy};
     pub use vstream_app::{Video, PlayerStats};
     pub use vstream_net::NetworkProfile;

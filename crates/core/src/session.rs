@@ -1,13 +1,123 @@
-//! Running one streaming session for any Table 1 cell.
+//! Running streaming sessions for any Table 1 cell — one at a time, or as a
+//! parallel batch.
+//!
+//! Each session is an independent single-threaded deterministic simulation
+//! fully described by a [`SessionSpec`]. The batch entry points
+//! ([`run_many`], [`map_many`]) fan a slice of specs out across a worker
+//! pool and return results **ordered by spec index**, so the output of a
+//! batch is byte-identical for any worker count. The invariant callers must
+//! hold up in exchange: a spec's `seed` must be a function of the session's
+//! identity (use [`vstream_sim::derive_seed`]), never drawn from a shared
+//! RNG while iterating.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use vstream_app::engine::Engine;
 use vstream_app::strategies::InterruptAfter;
 use vstream_app::{PlayerStats, Video};
 use vstream_capture::Trace;
 use vstream_net::NetworkProfile;
-use vstream_sim::SimDuration;
+use vstream_sim::{exec, SimDuration};
 use vstream_tcp::EndpointStats;
 use vstream_workload::{logic_for, Client, Container, StrategyLogic};
+
+/// Worker count used by the figure/table drivers; `0` selects the host's
+/// available parallelism.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by batch runs that do not pass an explicit
+/// count (the figure and table drivers). `0` restores the default: one
+/// worker per available core. Results do not depend on this value — only
+/// wall-clock time does.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count batch runs use when not given one explicitly.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => exec::default_jobs(),
+        n => n,
+    }
+}
+
+/// A complete, self-contained description of one streaming session.
+///
+/// Running a spec is a pure function of its fields: two equal specs produce
+/// bit-identical outcomes, on any thread, in any order.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionSpec {
+    pub client: Client,
+    pub container: Container,
+    pub video: Video,
+    pub profile: NetworkProfile,
+    pub seed: u64,
+    pub capture: SimDuration,
+    /// When set, the viewer abandons the session after this watch time
+    /// (§6.2 experiments).
+    pub watch_time: Option<SimDuration>,
+}
+
+impl SessionSpec {
+    /// Spec for a full (uninterrupted) session.
+    pub fn new(
+        client: Client,
+        container: Container,
+        video: Video,
+        profile: NetworkProfile,
+        seed: u64,
+        capture: SimDuration,
+    ) -> Self {
+        SessionSpec {
+            client,
+            container,
+            video,
+            profile,
+            seed,
+            capture,
+            watch_time: None,
+        }
+    }
+
+    /// Marks the session as abandoned after `watch_time`.
+    pub fn interrupted(mut self, watch_time: SimDuration) -> Self {
+        self.watch_time = Some(watch_time);
+        self
+    }
+
+    /// Runs the session. `None` for inapplicable Table 1 cells (mobile
+    /// clients have no Flash).
+    pub fn run(&self) -> Option<CellOutcome> {
+        let logic = logic_for(self.client, self.container, self.video)?;
+        Some(finish(self.profile, self.seed, self.capture, logic, self.watch_time))
+    }
+}
+
+/// Runs every spec, up to [`default_jobs`] sessions in parallel, and returns
+/// the outcomes ordered by spec index.
+pub fn run_many(specs: &[SessionSpec]) -> Vec<Option<CellOutcome>> {
+    run_many_jobs(specs, default_jobs())
+}
+
+/// [`run_many`] with an explicit worker count.
+pub fn run_many_jobs(specs: &[SessionSpec], jobs: usize) -> Vec<Option<CellOutcome>> {
+    exec::par_map(specs, jobs, SessionSpec::run)
+}
+
+/// Runs every spec and reduces each outcome to `f(index, outcome)` **inside
+/// the worker**, so a session's packet trace is dropped before the next
+/// session on that worker starts. Prefer this over [`run_many`] for large
+/// batches: it keeps peak memory at one trace per worker instead of one per
+/// session.
+pub fn map_many<T, F>(specs: &[SessionSpec], f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize, CellOutcome) -> T + Sync,
+{
+    exec::par_indexed(specs.len(), default_jobs(), |i| {
+        specs[i].run().map(|out| f(i, out))
+    })
+}
 
 /// Everything measured from one simulated streaming session.
 pub struct CellOutcome {
@@ -49,8 +159,7 @@ pub fn run_cell(
     seed: u64,
     capture: SimDuration,
 ) -> Option<CellOutcome> {
-    let logic = logic_for(client, container, video)?;
-    Some(finish(profile, seed, capture, logic, None))
+    SessionSpec::new(client, container, video, profile, seed, capture).run()
 }
 
 /// Like [`run_cell`], but the viewer abandons the session after
@@ -64,8 +173,9 @@ pub fn run_cell_interrupted(
     capture: SimDuration,
     watch_time: SimDuration,
 ) -> Option<CellOutcome> {
-    let logic = logic_for(client, container, video)?;
-    Some(finish(profile, seed, capture, logic, Some(watch_time)))
+    SessionSpec::new(client, container, video, profile, seed, capture)
+        .interrupted(watch_time)
+        .run()
 }
 
 fn finish(
@@ -165,6 +275,80 @@ mod tests {
         .unwrap();
         assert!(cut.trace.total_downloaded() <= full.trace.total_downloaded());
         assert!(cut.trace.duration() <= SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn run_many_matches_run_cell_and_is_jobs_invariant() {
+        let specs: Vec<SessionSpec> = (0..4)
+            .map(|i| {
+                SessionSpec::new(
+                    Client::Firefox,
+                    Container::Html5,
+                    video(),
+                    NetworkProfile::Research,
+                    100 + i,
+                    SimDuration::from_secs(30),
+                )
+            })
+            .collect();
+        let digest = |outs: Vec<Option<CellOutcome>>| -> Vec<(usize, u64)> {
+            outs.iter()
+                .map(|o| {
+                    let o = o.as_ref().unwrap();
+                    (o.trace.len(), o.logic.read_total())
+                })
+                .collect()
+        };
+        let serial = digest(run_many_jobs(&specs, 1));
+        let parallel = digest(run_many_jobs(&specs, 4));
+        assert_eq!(serial, parallel);
+        for (i, spec) in specs.iter().enumerate() {
+            let one = spec.run().unwrap();
+            assert_eq!((one.trace.len(), one.logic.read_total()), serial[i]);
+        }
+    }
+
+    #[test]
+    fn map_many_reduces_in_worker_and_keeps_order() {
+        let specs: Vec<SessionSpec> = (0..3)
+            .map(|i| {
+                SessionSpec::new(
+                    Client::Firefox,
+                    Container::Flash,
+                    video(),
+                    NetworkProfile::Research,
+                    200 + i,
+                    SimDuration::from_secs(20),
+                )
+            })
+            .collect();
+        let lens = map_many(&specs, |i, out| (i, out.trace.len()));
+        for (i, item) in lens.iter().enumerate() {
+            let (idx, len) = item.unwrap();
+            assert_eq!(idx, i);
+            assert_eq!(len, specs[i].run().unwrap().trace.len());
+        }
+    }
+
+    #[test]
+    fn run_many_preserves_inapplicable_cells_as_none() {
+        let ok = SessionSpec::new(
+            Client::Firefox,
+            Container::Flash,
+            video(),
+            NetworkProfile::Research,
+            1,
+            SimDuration::from_secs(10),
+        );
+        // Mobile clients have no Flash: must stay None, in position.
+        let bad = SessionSpec {
+            client: Client::Android,
+            ..ok
+        };
+        let outs = run_many_jobs(&[ok, bad, ok], 3);
+        assert!(outs[0].is_some());
+        assert!(outs[1].is_none());
+        assert!(outs[2].is_some());
     }
 
     #[test]

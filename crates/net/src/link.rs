@@ -150,7 +150,6 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     struct Pkt(u32);
     impl Wire for Pkt {
@@ -264,44 +263,50 @@ mod tests {
         assert_eq!(v, t + SimDuration::from_millis(3));
     }
 
-    proptest! {
-        /// Delivery times along a link are strictly increasing for non-empty
-        /// packets, whatever the arrival pattern (FIFO, no reordering).
-        #[test]
-        fn prop_fifo_no_reordering(
-            sizes in prop::collection::vec(40u32..3000, 1..100),
-            gaps in prop::collection::vec(0u64..2_000_000u64, 1..100),
-        ) {
+    /// Delivery times along a link are strictly increasing for non-empty
+    /// packets, whatever the arrival pattern (FIFO, no reordering).
+    /// Deterministic sweep over seeded random arrival patterns (formerly a
+    /// proptest).
+    #[test]
+    fn fifo_no_reordering_random_arrivals() {
+        for seed in 0..32u64 {
+            let mut gen = SimRng::new(0xF1F0_0000 + seed);
+            let n = 1 + gen.choose_index(100);
+            let sizes: Vec<u32> = (0..n).map(|_| gen.uniform_u64(40, 3000) as u32).collect();
+            let gaps: Vec<u64> = (0..n).map(|_| gen.uniform_u64(0, 2_000_000)).collect();
             let mut link = Link::new(LinkConfig::new(10_000_000, SimDuration::from_millis(5))
                 .with_queue_capacity(u64::MAX));
             let mut rng = SimRng::new(7);
             let mut now = SimTime::ZERO;
             let mut last_delivery: Option<SimTime> = None;
-            for (size, gap) in sizes.iter().zip(gaps.iter().cycle()) {
+            for (size, gap) in sizes.iter().zip(gaps.iter()) {
                 now = now + SimDuration::from_nanos(*gap);
                 if let Some(t) = link.send(now, &Pkt(*size), &mut rng).delivery_time() {
                     if let Some(prev) = last_delivery {
-                        prop_assert!(t > prev, "reordering: {t} <= {prev}");
+                        assert!(t > prev, "seed {seed}: reordering: {t} <= {prev}");
                     }
                     last_delivery = Some(t);
                 }
             }
         }
+    }
 
-        /// The backlog never exceeds the configured queue capacity plus one
-        /// in-service packet.
-        #[test]
-        fn prop_backlog_bounded(
-            sizes in prop::collection::vec(40u32..1600, 1..200),
-        ) {
+    /// The backlog never exceeds the configured queue capacity plus one
+    /// in-service packet.
+    #[test]
+    fn backlog_bounded_random_bursts() {
+        for seed in 0..32u64 {
+            let mut gen = SimRng::new(0xBAC0_0000 + seed);
+            let n = 1 + gen.choose_index(200);
             let cap = 10_000u64;
             let mut link = Link::new(
                 LinkConfig::new(1_000_000, SimDuration::ZERO).with_queue_capacity(cap));
             let mut rng = SimRng::new(8);
             let now = SimTime::ZERO;
-            for size in &sizes {
-                let _ = link.send(now, &Pkt(*size), &mut rng);
-                prop_assert!(link.backlog_bytes(now) <= cap + 1600);
+            for _ in 0..n {
+                let size = gen.uniform_u64(40, 1600) as u32;
+                let _ = link.send(now, &Pkt(size), &mut rng);
+                assert!(link.backlog_bytes(now) <= cap + 1600, "seed {seed}");
             }
         }
     }

@@ -1,0 +1,180 @@
+//! Parallel execution of independent simulation sessions.
+//!
+//! Every figure and table in the reproduction is an embarrassingly parallel
+//! fan-out: N independent sessions, each a single-threaded deterministic DES
+//! run, whose outputs are then aggregated. This module provides the worker
+//! pool that exploits that independence without giving up reproducibility.
+//!
+//! The determinism contract has two halves:
+//!
+//! 1. **Seeds are identity-derived, not schedule-derived.** Callers must
+//!    compute each session's seed from its identity (via
+//!    [`crate::rng::derive_seed`] or an explicit per-index formula), never by
+//!    drawing from a shared RNG inside the submission loop. A session's seed
+//!    is then independent of *when* it runs.
+//! 2. **Results are collected by index.** [`par_indexed`] returns
+//!    `results[i] == f(i)` regardless of which worker ran `i` or in what
+//!    order workers finished, so the aggregate is byte-identical for any
+//!    `jobs` count — including the serial `jobs == 1` path.
+//!
+//! The pool is `std`-only: a `std::thread::scope` with an atomic cursor as a
+//! self-balancing work queue. Workers claim one index at a time, so a slow
+//! session (long video, lossy profile) does not stall the neighbours a
+//! static chunking would have assigned to the same worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default worker count for batch helpers that do not take an explicit
+/// `jobs` argument: the host's available parallelism, or 1 if unknown.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(0), f(1), …, f(n - 1)` on up to `jobs` worker threads and
+/// returns the results **ordered by index**.
+///
+/// `f` must be a pure function of its index (plus captured shared state) —
+/// the output is then independent of the number of workers and of
+/// completion order. With `jobs <= 1` (or a trivially small `n`) the
+/// closure runs inline on the caller's thread with no pool at all; the
+/// result is identical either way.
+///
+/// # Panics
+/// If `f` panics for any index, the panic is resurfaced on the calling
+/// thread after the scope joins.
+pub fn par_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.min(n).max(1);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Claim indices one at a time; buffer locally and flush in
+                // one lock acquisition so the mutex stays cold relative to
+                // the session work.
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if !local.is_empty() {
+                    let mut slots = slots.lock().expect("executor slots poisoned");
+                    for (i, value) in local {
+                        slots[i] = Some(value);
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("executor slots poisoned")
+        .iter_mut()
+        .map(|slot| slot.take().expect("executor: missing result slot"))
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, preserving input order in the output.
+///
+/// Convenience wrapper over [`par_indexed`] for callers that already hold a
+/// slice of per-session specs.
+pub fn par_map<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_indexed(items.len(), jobs, |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = par_indexed(257, 1, f);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(par_indexed(257, jobs, f), serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn results_are_ordered_by_index() {
+        let out = par_indexed(1000, 8, |i| i);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = par_indexed(100, 4, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        assert_eq!(par_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_indexed(1, 8, |i| i * 2), vec![0]);
+    }
+
+    #[test]
+    fn zero_jobs_is_treated_as_serial() {
+        assert_eq!(par_indexed(5, 0, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        assert_eq!(par_indexed(3, 100, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items = vec!["a", "bb", "ccc", "dddd"];
+        let lens = par_map(&items, 4, |s| s.len());
+        assert_eq!(lens, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn non_copy_results_are_moved_intact() {
+        let out = par_indexed(50, 4, |i| vec![i; i % 5]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        par_indexed(16, 4, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

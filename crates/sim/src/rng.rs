@@ -5,13 +5,46 @@
 //! single experiment seed, so a run is fully determined by
 //! `(code, seed, parameters)`.
 //!
-//! Besides wrapping [`rand::rngs::StdRng`], this module implements the
-//! inverse-CDF / Box-Muller samplers the workload generators need. They are
-//! written out explicitly (rather than pulled from a distributions crate) so
-//! their behaviour is pinned by our own unit tests.
+//! The generator is the vendored ChaCha12 stream in [`crate::chacha`]
+//! (byte-compatible with the `rand` crate's `StdRng`), and the samplers in
+//! this module reproduce the `rand` 0.8 distribution semantics exactly:
+//! `uniform` is the 53-bit multiply method, `uniform_range` the
+//! \[1, 2)-mantissa rejection method, and the integer draws use Lemire's
+//! widening-multiply with zone rejection. Existing experiment outputs are
+//! therefore unchanged by the vendoring.
+//!
+//! For parallel fan-out, [`derive_seed`] hashes a session's *identity*
+//! (root seed + a path of identifying words) into an engine seed, so the
+//! seed no longer depends on the order in which sessions are submitted —
+//! the invariant the parallel executor in [`crate::exec`] relies on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use crate::chacha::ChaCha12;
+
+/// Derives a session seed from a root seed and the session's identity path.
+///
+/// This is a SplitMix64-style finalizer chain: each identifying word
+/// (figure id, profile index, sample index, …) is mixed into the running
+/// hash with a distinct round constant. The result depends only on
+/// `(root, words)` — never on how many seeds were derived before it — so
+/// sessions may be executed in any order, on any number of threads, and
+/// still receive the same seed.
+///
+/// Different prefixes yield independent streams: `derive_seed(r, &[a])` and
+/// `derive_seed(r, &[a, 0])` are unrelated draws.
+pub fn derive_seed(root: u64, words: &[u64]) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(root.wrapping_add(GOLDEN));
+    for (i, &w) in words.iter().enumerate() {
+        h = mix(h ^ w.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
+    }
+    h
+}
 
 /// A deterministic random number generator.
 ///
@@ -19,14 +52,14 @@ use rand::{Rng, RngCore, SeedableRng};
 /// stream in two components correlates their randomness. Use [`SimRng::fork`]
 /// to derive an independent child generator instead.
 pub struct SimRng {
-    inner: StdRng,
+    inner: ChaCha12,
 }
 
 impl SimRng {
     /// Creates a generator from an experiment seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: ChaCha12::seed_from_u64(seed),
         }
     }
 
@@ -40,7 +73,8 @@ impl SimRng {
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random bits scaled by 2^-53 (the `rand` multiply method).
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -52,7 +86,20 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let scale = hi - lo;
+        assert!(scale.is_finite(), "uniform_range: range overflow [{lo}, {hi})");
+        loop {
+            // 52 random mantissa bits with exponent 0 give a value in [1, 2);
+            // shift to [0, 1), scale, and reject the rare res == hi rounding.
+            // The multiply-then-add shape (rather than subtracting 1 first)
+            // matters: it pins the exact per-draw rounding this stream's
+            // calibrated outputs were recorded under.
+            let value1_2 = f64::from_bits((self.inner.next_u64() >> 12) | (1023u64 << 52));
+            let res = value1_2 * scale + (lo - scale);
+            if res < hi {
+                return res;
+            }
+        }
     }
 
     /// Uniform integer draw in `[lo, hi)`.
@@ -61,7 +108,25 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform_u64: bad bounds [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        self.sample_u64_inclusive(lo, hi - 1)
+    }
+
+    /// Lemire's widening-multiply draw in `[lo, hi]`, with the conservative
+    /// power-of-two rejection zone.
+    fn sample_u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        let range = hi.wrapping_sub(lo).wrapping_add(1);
+        if range == 0 {
+            // Full 64-bit range: every value is acceptable.
+            return self.inner.next_u64();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.inner.next_u64();
+            let m = (v as u128) * (range as u128);
+            if (m as u64) <= zone {
+                return lo.wrapping_add((m >> 64) as u64);
+            }
+        }
     }
 
     /// Bernoulli trial: true with probability `p`.
@@ -132,7 +197,7 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn choose_index(&mut self, len: usize) -> usize {
         assert!(len > 0, "choose_index: empty collection");
-        self.inner.gen_range(0..len)
+        self.sample_u64_inclusive(0, len as u64 - 1) as usize
     }
 }
 
@@ -264,5 +329,50 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn bernoulli_rejects_bad_p() {
         SimRng::new(0).bernoulli(1.5);
+    }
+
+    #[test]
+    fn uniform_u64_full_range_is_accepted() {
+        let mut rng = SimRng::new(41);
+        // Must terminate and cover both halves of the domain eventually.
+        let draws: Vec<u64> = (0..64).map(|_| rng.uniform_u64(0, u64::MAX)).collect();
+        assert!(draws.iter().any(|&v| v < u64::MAX / 2));
+        assert!(draws.iter().any(|&v| v >= u64::MAX / 2));
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_order_free() {
+        let a = derive_seed(2026, &[1, 2, 3]);
+        let b = derive_seed(2026, &[1, 2, 3]);
+        assert_eq!(a, b);
+        // Deriving other seeds in between changes nothing: no hidden state.
+        let _ = derive_seed(2026, &[9, 9, 9]);
+        assert_eq!(derive_seed(2026, &[1, 2, 3]), a);
+    }
+
+    #[test]
+    fn derive_seed_separates_identities() {
+        let base = derive_seed(7, &[1, 0, 0]);
+        assert_ne!(base, derive_seed(7, &[1, 0, 1]), "index must matter");
+        assert_ne!(base, derive_seed(7, &[1, 1, 0]), "profile must matter");
+        assert_ne!(base, derive_seed(7, &[2, 0, 0]), "figure id must matter");
+        assert_ne!(base, derive_seed(8, &[1, 0, 0]), "root seed must matter");
+        // Prefix extension is not a no-op.
+        assert_ne!(derive_seed(7, &[1]), derive_seed(7, &[1, 0]));
+    }
+
+    #[test]
+    fn derive_seed_spreads_small_inputs() {
+        // Consecutive indices must not yield correlated seeds: check all
+        // 64 bit positions flip across a small index sweep.
+        let mut or_acc = 0u64;
+        let mut and_acc = u64::MAX;
+        for i in 0..64 {
+            let s = derive_seed(0, &[0, 0, i]);
+            or_acc |= s;
+            and_acc &= s;
+        }
+        assert_eq!(or_acc, u64::MAX);
+        assert_eq!(and_acc, 0);
     }
 }

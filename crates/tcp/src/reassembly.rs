@@ -235,7 +235,7 @@ impl ReceiveBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vstream_sim::SimRng;
 
     #[test]
     fn in_order_delivery() {
@@ -382,22 +382,19 @@ mod tests {
         assert_eq!(rb.ack_no(), 1001);
     }
 
-    proptest! {
-        /// Delivering segments in any order yields the same total stream:
-        /// after all segments arrive, ack_no equals the stream length and the
-        /// application can read every byte exactly once.
-        #[test]
-        fn prop_any_arrival_order_reassembles(
-            order in Just(()).prop_perturb(|_, mut rng| {
-                let mut idx: Vec<usize> = (0..20).collect();
-                // Fisher-Yates with proptest's rng for a random permutation.
-                for i in (1..idx.len()).rev() {
-                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-                    idx.swap(i, j);
-                }
-                idx
-            })
-        ) {
+    /// Delivering segments in any order yields the same total stream:
+    /// after all segments arrive, ack_no equals the stream length and the
+    /// application can read every byte exactly once. Deterministic sweep of
+    /// seeded Fisher-Yates permutations (formerly a proptest).
+    #[test]
+    fn any_arrival_order_reassembles() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(0x5E6_0000 + seed);
+            let mut order: Vec<usize> = (0..20).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.choose_index(i + 1);
+                order.swap(i, j);
+            }
             let seg = 500u64;
             let mut rb = ReceiveBuffer::new(100_000);
             let mut total_read = 0;
@@ -405,22 +402,26 @@ mod tests {
                 rb.on_data(i as u64 * seg, seg as u32);
                 total_read += rb.read(u64::MAX);
             }
-            prop_assert_eq!(rb.ack_no(), 20 * seg);
-            prop_assert_eq!(total_read, 20 * seg);
-            prop_assert_eq!(rb.window(), 100_000);
+            assert_eq!(rb.ack_no(), 20 * seg, "seed {seed}: order {order:?}");
+            assert_eq!(total_read, 20 * seg, "seed {seed}");
+            assert_eq!(rb.window(), 100_000, "seed {seed}");
         }
+    }
 
-        /// The advertised window never exceeds capacity and unread bytes
-        /// never exceed what was accepted.
-        #[test]
-        fn prop_window_invariants(
-            writes in prop::collection::vec((0u64..5_000, 1u32..1_500), 1..100)
-        ) {
+    /// The advertised window never exceeds capacity and unread bytes
+    /// never exceed what was accepted.
+    #[test]
+    fn window_invariants_random_writes() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(0x817D_0000 + seed);
+            let n = 1 + rng.choose_index(100);
             let mut rb = ReceiveBuffer::new(8_192);
-            for (seq, len) in writes {
+            for _ in 0..n {
+                let seq = rng.uniform_u64(0, 5_000);
+                let len = rng.uniform_u64(1, 1_500) as u32;
                 rb.on_data(seq, len);
-                prop_assert!(rb.window() <= rb.capacity());
-                prop_assert!(rb.available() + rb.window() <= rb.capacity());
+                assert!(rb.window() <= rb.capacity(), "seed {seed}");
+                assert!(rb.available() + rb.window() <= rb.capacity(), "seed {seed}");
             }
         }
     }

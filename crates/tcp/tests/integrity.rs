@@ -1,8 +1,9 @@
-//! Property-based end-to-end integrity: whatever the loss pattern, the
-//! receiver reads exactly the bytes the sender wrote — once each, in order
-//! (our byte-counting model checks length and offset coverage).
+//! End-to-end integrity over randomized loss patterns: whatever the loss
+//! pattern, the receiver reads exactly the bytes the sender wrote — once
+//! each, in order (our byte-counting model checks length and offset
+//! coverage). Each case sweeps a deterministic set of seeded random
+//! parameters (formerly proptests).
 
-use proptest::prelude::*;
 use vstream_net::{Direction, DuplexPath, LinkConfig, LossModel};
 use vstream_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use vstream_tcp::{CcAlgorithm, Endpoint, Role, Segment, TcpConfig};
@@ -94,19 +95,17 @@ fn transfer(
     read
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random Bernoulli loss up to 8%, random sizes and buffers, both
-    /// congestion controllers: every byte arrives exactly once.
-    #[test]
-    fn prop_stream_integrity_bernoulli(
-        size in 1_000u64..600_000,
-        loss_pct in 0u32..8,
-        recv_kb in 8u64..256,
-        cubic in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// Random Bernoulli loss up to 8%, random sizes and buffers, both
+/// congestion controllers: every byte arrives exactly once.
+#[test]
+fn stream_integrity_bernoulli() {
+    for case in 0..24u64 {
+        let mut gen = SimRng::new(0xBE12_0000 + case);
+        let size = gen.uniform_u64(1_000, 600_000);
+        let loss_pct = gen.uniform_u64(0, 8);
+        let recv_kb = gen.uniform_u64(8, 256);
+        let cubic = gen.bernoulli(0.5);
+        let seed = gen.uniform_u64(0, u64::MAX);
         let algorithm = if cubic { CcAlgorithm::Cubic } else { CcAlgorithm::Reno };
         let read = transfer(
             size,
@@ -115,30 +114,34 @@ proptest! {
             algorithm,
             seed,
         );
-        prop_assert_eq!(read, size);
+        assert_eq!(read, size, "case {case}: size {size}, loss {loss_pct}%, recv {recv_kb}kB");
     }
+}
 
-    /// Deterministic every-Nth loss (adversarial periodic pattern). The
-    /// floor of n = 4 keeps the loss rate at or below 25%: beyond that,
-    /// exponential RTO backoff legitimately stretches a transfer past any
-    /// reasonable time limit (TCP survives, but geologically).
-    #[test]
-    fn prop_stream_integrity_periodic_loss(
-        size in 1_000u64..200_000,
-        n in 4u64..40,
-        seed in any::<u64>(),
-    ) {
+/// Deterministic every-Nth loss (adversarial periodic pattern). The
+/// floor of n = 4 keeps the loss rate at or below 25%: beyond that,
+/// exponential RTO backoff legitimately stretches a transfer past any
+/// reasonable time limit (TCP survives, but geologically).
+#[test]
+fn stream_integrity_periodic_loss() {
+    for case in 0..24u64 {
+        let mut gen = SimRng::new(0x9E81_0000 + case);
+        let size = gen.uniform_u64(1_000, 200_000);
+        let n = gen.uniform_u64(4, 40);
+        let seed = gen.uniform_u64(0, u64::MAX);
         let read = transfer(size, LossModel::every_nth(n), 64 * 1024, CcAlgorithm::Reno, seed);
-        prop_assert_eq!(read, size);
+        assert_eq!(read, size, "case {case}: size {size}, every_nth {n}");
     }
+}
 
-    /// Bursty Gilbert-Elliott loss.
-    #[test]
-    fn prop_stream_integrity_bursty(
-        size in 1_000u64..300_000,
-        p_gb in 0.0f64..0.01,
-        seed in any::<u64>(),
-    ) {
+/// Bursty Gilbert-Elliott loss.
+#[test]
+fn stream_integrity_bursty() {
+    for case in 0..24u64 {
+        let mut gen = SimRng::new(0xB025_0000 + case);
+        let size = gen.uniform_u64(1_000, 300_000);
+        let p_gb = gen.uniform_range(0.0, 0.01);
+        let seed = gen.uniform_u64(0, u64::MAX);
         let read = transfer(
             size,
             LossModel::gilbert_elliott(p_gb, 0.2, 0.0, 0.8),
@@ -146,7 +149,7 @@ proptest! {
             CcAlgorithm::Reno,
             seed,
         );
-        prop_assert_eq!(read, size);
+        assert_eq!(read, size, "case {case}: size {size}, p_gb {p_gb}");
     }
 }
 

@@ -14,7 +14,7 @@
 //! Netflix titles are television episodes and films (20 minutes – 2 hours).
 
 use vstream_app::Video;
-use vstream_sim::{SimDuration, SimRng};
+use vstream_sim::{derive_seed, SimDuration, SimRng};
 
 /// One of the paper's six datasets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -107,10 +107,22 @@ impl Dataset {
         Video::new(id, rate, duration)
     }
 
+    /// Samples the `index`-th video of a seeded draw, independent of any
+    /// other index.
+    ///
+    /// The video is a pure function of `(dataset, seed, index)` — not of how
+    /// many videos were sampled before it — so callers may materialize any
+    /// subset, in any order, on any thread, and `sample_indexed(seed, i)`
+    /// always equals `sample_many(seed, n)[i]`.
+    pub fn sample_indexed(self, seed: u64, index: u64) -> Video {
+        let stream = seed ^ (self.catalogue_size() as u64) << 17;
+        let mut rng = SimRng::new(derive_seed(stream, &[index]));
+        self.sample(&mut rng, index)
+    }
+
     /// Samples `n` videos deterministically from a seed.
     pub fn sample_many(self, seed: u64, n: usize) -> Vec<Video> {
-        let mut rng = SimRng::new(seed ^ (self.catalogue_size() as u64) << 17);
-        (0..n).map(|i| self.sample(&mut rng, i as u64)).collect()
+        (0..n).map(|i| self.sample_indexed(seed, i as u64)).collect()
     }
 }
 
@@ -196,6 +208,18 @@ mod tests {
             "only {below_midpoint} of {} below midpoint",
             videos.len()
         );
+    }
+
+    #[test]
+    fn sample_indexed_matches_sample_many_at_any_index() {
+        for ds in ALL {
+            let many = ds.sample_many(11, 32);
+            // Probe out of order: the indexed draw must not depend on
+            // which indices were materialized before it.
+            for i in [31usize, 0, 17, 4] {
+                assert_eq!(ds.sample_indexed(11, i as u64), many[i], "{}[{i}]", ds.label());
+            }
+        }
     }
 
     #[test]

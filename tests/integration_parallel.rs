@@ -1,0 +1,110 @@
+//! Determinism of the parallel session executor: every figure/table driver
+//! must produce identical output at any worker count, and batch results
+//! must depend only on each session's identity — never on submission order
+//! or scheduling.
+
+use vstream::figures as f;
+use vstream::prelude::*;
+use vstream::report::FigureData;
+
+fn csv_of(fig: &FigureData) -> String {
+    fig.to_csv()
+}
+
+/// Serializes a representative slice of the figure suite at a given worker
+/// count. Covers every seeding scheme the figure drivers use: identity
+/// derivation (fig4/fig8), index offsets (fig9/fig2), shared roots
+/// (table2), and pre-sampled shared-RNG parameters (ext-agg-pkt).
+fn figure_suite(jobs: usize) -> Vec<String> {
+    set_default_jobs(jobs);
+    let mut out = Vec::new();
+    let (fig4a, fig4b) = f::fig4_flash_steady_state(97, 3);
+    out.push(csv_of(&fig4a));
+    out.push(csv_of(&fig4b));
+    let (fig8, corr) = f::fig8_bulk_rates(98, 6);
+    out.push(csv_of(&fig8));
+    out.push(format!("{corr:.12}"));
+    out.push(csv_of(&f::fig9_ack_clock(99)));
+    let (fig2a, fig2b) = f::fig2_short_onoff(100);
+    out.push(csv_of(&fig2a));
+    out.push(csv_of(&fig2b));
+    let (table1, _) = f::table1_strategy_matrix(101);
+    out.push(table1.to_csv());
+    out.push(f::table2_strategy_comparison(102, 60).to_csv());
+    out.push(f::ext_aggregate_packet_level(103, 6, 500.0).to_csv());
+    out
+}
+
+#[test]
+fn figure_output_is_identical_for_jobs_1_and_8() {
+    let serial = figure_suite(1);
+    let parallel = figure_suite(8);
+    set_default_jobs(0); // restore the all-cores default for other tests
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "artifact #{i} differs between --jobs 1 and --jobs 8");
+    }
+}
+
+#[test]
+fn batch_results_do_not_depend_on_submission_order() {
+    let video = |id: u64, rate: u64| Video::new(id, rate, SimDuration::from_secs(2400));
+    let specs: Vec<SessionSpec> = (0..6)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Firefox,
+                Container::Flash,
+                video(i, 800_000 + 100_000 * i),
+                NetworkProfile::Research,
+                0xD15C + i,
+                SimDuration::from_secs(60),
+            )
+        })
+        .collect();
+    // A fixed permutation of the same specs.
+    let perm = [4usize, 0, 5, 2, 1, 3];
+    let permuted: Vec<SessionSpec> = perm.iter().map(|&i| specs[i]).collect();
+
+    let digest = |out: &CellOutcome| {
+        (
+            out.trace.len(),
+            out.trace.total_downloaded(),
+            out.connections,
+            out.player_stats().stalls,
+        )
+    };
+    for jobs in [1, 3, 8] {
+        let straight = run_many_jobs(&specs, jobs);
+        let shuffled = run_many_jobs(&permuted, jobs);
+        for (k, &i) in perm.iter().enumerate() {
+            let a = straight[i].as_ref().expect("valid cell");
+            let b = shuffled[k].as_ref().expect("valid cell");
+            assert_eq!(
+                digest(a),
+                digest(b),
+                "session {i} differs when submitted at position {k} (jobs = {jobs})"
+            );
+        }
+    }
+}
+
+#[test]
+fn map_many_agrees_with_serial_run() {
+    let specs: Vec<SessionSpec> = (0..4)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Chrome,
+                Container::Html5,
+                Video::new(i, 1_200_000, SimDuration::from_secs(2400)),
+                NetworkProfile::Home,
+                0xABCD + i,
+                SimDuration::from_secs(60),
+            )
+        })
+        .collect();
+    let parallel = map_many(&specs, |_, out| out.trace.total_downloaded());
+    for (i, spec) in specs.iter().enumerate() {
+        let serial = spec.run().map(|out| out.trace.total_downloaded());
+        assert_eq!(parallel[i], serial, "session {i}");
+    }
+}
