@@ -59,6 +59,67 @@ struct Conn {
     eof_notified: bool,
 }
 
+/// Reusable per-worker allocations for back-to-back sessions.
+///
+/// A session's hot-path allocations — the event queue's bucket storage, the
+/// segment buffer the endpoints emit into, and the capture's record vector —
+/// all reach a steady-state size within the first simulated seconds. When a
+/// worker runs many sessions (every figure does), constructing each
+/// [`Engine`] via [`Engine::with_scratch`] and recycling the scratch from
+/// [`Engine::into_parts`] replaces per-session allocation/doubling with
+/// reuse of the previous session's high-water capacities.
+///
+/// The scratch carries **capacity only, never state**: the queue is reset,
+/// the segment buffer cleared, and the trace handed out fresh, so results
+/// are bit-identical whether a scratch is new, reused, or absent — the
+/// determinism suite checks exactly this across `--jobs` counts.
+pub struct SessionScratch {
+    queue: EventQueue<Event>,
+    seg_buf: Vec<Segment>,
+    trace_capacity: usize,
+}
+
+impl SessionScratch {
+    /// A fresh scratch with the default pre-sizing (see [`Engine::new`]).
+    pub fn new() -> Self {
+        Self::with_trace_capacity(0)
+    }
+
+    /// A fresh scratch whose first trace is pre-sized for `capacity` packet
+    /// records (e.g. from `NetworkProfile::expected_capture_packets`,
+    /// clamped to something sane — line rate over 180 s is millions of
+    /// records).
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        SessionScratch {
+            // A streaming session keeps a few thousand in-flight
+            // packet/timer events at its busiest; pre-sizing avoids the
+            // first several queue regrowths on the hot path.
+            queue: EventQueue::with_capacity(4096),
+            seg_buf: Vec::with_capacity(64),
+            trace_capacity: capacity,
+        }
+    }
+
+    /// The trace capacity the next session built from this scratch gets.
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_capacity
+    }
+}
+
+impl Default for SessionScratch {
+    /// An *empty* scratch — no pre-sized buffers. This is what
+    /// `std::mem::take` leaves behind while an engine borrows the real
+    /// scratch, so it must cost (almost) nothing to build; use
+    /// [`SessionScratch::new`] when the scratch will actually run sessions.
+    fn default() -> Self {
+        SessionScratch {
+            queue: EventQueue::new(),
+            seg_buf: Vec::new(),
+            trace_capacity: 0,
+        }
+    }
+}
+
 /// Strategy callbacks. All methods default to doing nothing, so a logic
 /// implements only what it needs.
 pub trait SessionLogic {
@@ -92,23 +153,45 @@ pub struct Engine {
     limit: SimTime,
     stopped: bool,
     cross_traffic: Option<CrossTraffic>,
+    /// Staging buffer the endpoints emit segments into; taken out of the
+    /// engine around each `_into` call and drained by the transmit helpers.
+    seg_buf: Vec<Segment>,
 }
 
 impl Engine {
     /// Creates an engine over `path` that captures until `capture_limit`.
     pub fn new(path: DuplexPath, seed: u64, capture_limit: SimDuration) -> Self {
+        Self::with_scratch(path, seed, capture_limit, SessionScratch::new())
+    }
+
+    /// Like [`Engine::new`], but reusing the allocations of a previous
+    /// session's [`SessionScratch`] (see [`Engine::into_parts`]). The
+    /// scratch contributes only capacity: the queue is reset and the
+    /// segment buffer cleared, so the session's behaviour is identical to
+    /// one built with [`Engine::new`].
+    pub fn with_scratch(
+        path: DuplexPath,
+        seed: u64,
+        capture_limit: SimDuration,
+        scratch: SessionScratch,
+    ) -> Self {
+        let SessionScratch {
+            mut queue,
+            mut seg_buf,
+            trace_capacity,
+        } = scratch;
+        queue.reset();
+        seg_buf.clear();
         Engine {
-            // A streaming session keeps a few thousand in-flight
-            // packet/timer events at its busiest; pre-sizing avoids the
-            // first several binary-heap regrowths on the hot path.
-            queue: EventQueue::with_capacity(4096),
+            queue,
             path,
             rng: SimRng::new(seed),
-            trace: Trace::new(),
+            trace: Trace::with_capacity(trace_capacity),
             conns: Vec::new(),
             limit: SimTime::ZERO + capture_limit,
             stopped: false,
             cross_traffic: None,
+            seg_buf,
         }
     }
 
@@ -146,7 +229,22 @@ impl Engine {
 
     /// Consumes the engine, returning the capture.
     pub fn into_trace(self) -> Trace {
-        self.trace
+        self.into_parts().0
+    }
+
+    /// Consumes the engine, returning the capture and a [`SessionScratch`]
+    /// holding this session's allocations for the next one. The scratch's
+    /// trace-capacity hint ratchets up to the largest capture seen, so a
+    /// worker stops reallocating after its biggest session.
+    pub fn into_parts(self) -> (Trace, SessionScratch) {
+        let scratch = SessionScratch {
+            queue: self.queue,
+            seg_buf: self.seg_buf,
+            // The trace's final capacity is its true high-water mark
+            // (doubling included), so the next session allocates once.
+            trace_capacity: self.trace.capacity().max(self.trace.len()),
+        };
+        (self.trace, scratch)
     }
 
     /// Number of connections opened so far.
@@ -192,7 +290,11 @@ impl Engine {
             established_notified: false,
             eof_notified: false,
         });
-        self.transmit_from_client(idx, syn);
+        let mut buf = std::mem::take(&mut self.seg_buf);
+        buf.clear();
+        buf.extend(syn);
+        self.transmit_from_client(idx, &mut buf);
+        self.seg_buf = buf;
         self.sync_ticks(idx);
         idx
     }
@@ -200,26 +302,35 @@ impl Engine {
     /// Server-side application write: queue `bytes` of video content.
     pub fn server_write(&mut self, conn: usize, bytes: u64) {
         let now = self.now();
-        let segs = self.conns[conn].server.write(now, bytes);
-        self.transmit_from_server(conn, segs);
-        self.sync_ticks(conn);
+        let mut buf = std::mem::take(&mut self.seg_buf);
+        buf.clear();
+        self.conns[conn].server.write_into(now, bytes, &mut buf);
+        self.transmit_from_server(conn, &mut buf);
+        self.seg_buf = buf;
+        self.sync_tick_side(conn, Side::Server);
     }
 
     /// Server-side close: FIN after all queued data.
     pub fn server_close(&mut self, conn: usize) {
         let now = self.now();
-        let segs = self.conns[conn].server.close(now);
-        self.transmit_from_server(conn, segs);
-        self.sync_ticks(conn);
+        let mut buf = std::mem::take(&mut self.seg_buf);
+        buf.clear();
+        self.conns[conn].server.close_into(now, &mut buf);
+        self.transmit_from_server(conn, &mut buf);
+        self.seg_buf = buf;
+        self.sync_tick_side(conn, Side::Server);
     }
 
     /// Client-side application read of up to `max` bytes. Window updates
     /// triggered by the read are transmitted.
     pub fn client_read(&mut self, conn: usize, max: u64) -> u64 {
         let now = self.now();
-        let (n, segs) = self.conns[conn].client.read(now, max);
-        self.transmit_from_client(conn, segs);
-        self.sync_ticks(conn);
+        let mut buf = std::mem::take(&mut self.seg_buf);
+        buf.clear();
+        let n = self.conns[conn].client.read_into(now, max, &mut buf);
+        self.transmit_from_client(conn, &mut buf);
+        self.seg_buf = buf;
+        self.sync_tick_side(conn, Side::Client);
         n
     }
 
@@ -266,41 +377,54 @@ impl Engine {
             if self.stopped {
                 return;
             }
-            let Some((t, ev)) = (match self.queue.peek_time() {
-                Some(t) if t <= self.limit => self.queue.pop(),
-                _ => None,
-            }) else {
+            let Some((t, ev)) = self.queue.pop_before(self.limit) else {
                 return;
             };
             match ev {
                 Event::DeliverToClient { conn, seg } => {
                     self.trace.push(t, TapDirection::Incoming, seg);
-                    let out = self.conns[conn].client.on_segment(t, seg);
-                    self.transmit_from_client(conn, out);
-                    self.after_touch(conn, logic);
+                    let mut buf = std::mem::take(&mut self.seg_buf);
+                    buf.clear();
+                    self.conns[conn].client.on_segment_into(t, seg, &mut buf);
+                    self.transmit_from_client(conn, &mut buf);
+                    self.seg_buf = buf;
+                    self.after_touch(conn, Side::Client, logic);
                 }
                 Event::DeliverToServer { conn, seg } => {
-                    let out = self.conns[conn].server.on_segment(t, seg);
-                    self.transmit_from_server(conn, out);
-                    self.after_touch(conn, logic);
+                    let mut buf = std::mem::take(&mut self.seg_buf);
+                    buf.clear();
+                    self.conns[conn].server.on_segment_into(t, seg, &mut buf);
+                    self.transmit_from_server(conn, &mut buf);
+                    self.seg_buf = buf;
+                    self.after_touch(conn, Side::Server, logic);
                 }
                 Event::TcpTick { conn, side } => {
                     let slot = match side {
                         Side::Client => 0,
                         Side::Server => 1,
                     };
+                    // A tick superseded by an earlier reschedule for the
+                    // same side is stale: the earlier tick already ran the
+                    // timers and re-synced, so processing it again is pure
+                    // overhead. Skip it without touching the endpoints.
+                    if self.conns[conn].tick_scheduled[slot] != Some(t) {
+                        continue;
+                    }
                     self.conns[conn].tick_scheduled[slot] = None;
+                    let mut buf = std::mem::take(&mut self.seg_buf);
+                    buf.clear();
                     match side {
                         Side::Client => {
-                            let out = self.conns[conn].client.on_timer(t);
-                            self.transmit_from_client(conn, out);
+                            self.conns[conn].client.on_timer_into(t, &mut buf);
+                            self.transmit_from_client(conn, &mut buf);
                         }
                         Side::Server => {
-                            let out = self.conns[conn].server.on_timer(t);
-                            self.transmit_from_server(conn, out);
+                            self.conns[conn].server.on_timer_into(t, &mut buf);
+                            self.transmit_from_server(conn, &mut buf);
                         }
                     }
-                    self.after_touch(conn, logic);
+                    self.seg_buf = buf;
+                    self.after_touch(conn, side, logic);
                 }
                 Event::AppTimer { id } => {
                     logic.on_app_timer(self, id);
@@ -318,8 +442,8 @@ impl Engine {
         panic!("session event-count safety valve tripped: runaway event loop");
     }
 
-    fn after_touch<L: SessionLogic>(&mut self, conn: usize, logic: &mut L) {
-        self.sync_ticks(conn);
+    fn after_touch<L: SessionLogic>(&mut self, conn: usize, side: Side, logic: &mut L) {
+        self.sync_tick_side(conn, side);
         if !self.conns[conn].established_notified && self.is_established(conn) {
             self.conns[conn].established_notified = true;
             logic.on_established(self, conn);
@@ -334,10 +458,11 @@ impl Engine {
     }
 
     /// Transmits client-origin segments: the tap records them (tcpdump sees
-    /// every outgoing packet), then they traverse the uplink.
-    fn transmit_from_client(&mut self, conn: usize, segs: Vec<Segment>) {
+    /// every outgoing packet), then they traverse the uplink. Drains `segs`
+    /// so the caller's buffer can be reused.
+    fn transmit_from_client(&mut self, conn: usize, segs: &mut Vec<Segment>) {
         let now = self.now();
-        for seg in segs {
+        for seg in segs.drain(..) {
             self.trace.push(now, TapDirection::Outgoing, seg);
             if let Some(at) = self
                 .path
@@ -350,10 +475,11 @@ impl Engine {
     }
 
     /// Transmits server-origin segments; the tap records them on *arrival*
-    /// (a dropped packet never reaches the client's tcpdump).
-    fn transmit_from_server(&mut self, conn: usize, segs: Vec<Segment>) {
+    /// (a dropped packet never reaches the client's tcpdump). Drains `segs`
+    /// so the caller's buffer can be reused.
+    fn transmit_from_server(&mut self, conn: usize, segs: &mut Vec<Segment>) {
         let now = self.now();
-        for seg in segs {
+        for seg in segs.drain(..) {
             if let Some(at) = self
                 .path
                 .send(Direction::Down, now, &seg, &mut self.rng)
@@ -373,19 +499,28 @@ impl Engine {
 
     /// Ensures a TCP tick event is queued for each armed endpoint timer.
     fn sync_ticks(&mut self, conn: usize) {
+        self.sync_tick_side(conn, Side::Client);
+        self.sync_tick_side(conn, Side::Server);
+    }
+
+    /// [`Self::sync_ticks`] for one endpoint. Each event in the loop mutates
+    /// exactly one endpoint of the pair, and the other side's earliest
+    /// deadline / scheduled-tick pair is unchanged since its own last sync
+    /// (every mutation path ends in a sync of the side it touched), so a
+    /// re-sync of the untouched side is always a no-op — skipping it halves
+    /// the per-event timer bookkeeping without changing any schedule.
+    fn sync_tick_side(&mut self, conn: usize, side: Side) {
         let now = self.now();
-        for (slot, side) in [(0, Side::Client), (1, Side::Server)] {
-            let deadline = match side {
-                Side::Client => self.conns[conn].client.next_timer(),
-                Side::Server => self.conns[conn].server.next_timer(),
-            };
-            if let Some(d) = deadline {
-                let at = d.max(now);
-                let stored = self.conns[conn].tick_scheduled[slot];
-                if stored.is_none_or(|s| at < s) {
-                    self.queue.schedule(at, Event::TcpTick { conn, side });
-                    self.conns[conn].tick_scheduled[slot] = Some(at);
-                }
+        let (slot, deadline) = match side {
+            Side::Client => (0, self.conns[conn].client.next_timer()),
+            Side::Server => (1, self.conns[conn].server.next_timer()),
+        };
+        if let Some(d) = deadline {
+            let at = d.max(now);
+            let stored = self.conns[conn].tick_scheduled[slot];
+            if stored.is_none_or(|s| at < s) {
+                self.queue.schedule(at, Event::TcpTick { conn, side });
+                self.conns[conn].tick_scheduled[slot] = Some(at);
             }
         }
     }

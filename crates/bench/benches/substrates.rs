@@ -11,8 +11,8 @@ use vstream_bench::harness::Criterion;
 use vstream_bench::{criterion_group, criterion_main};
 
 /// One bulk 180 s session: the most packet-dense workload (no pacing).
-fn bulk_session(seed: u64) -> usize {
-    let out = run_cell(
+fn bulk_spec(seed: u64) -> SessionSpec {
+    SessionSpec::new(
         Client::Firefox,
         Container::Html5,
         Video::new(1, 2_000_000, SimDuration::from_secs(120)),
@@ -20,13 +20,11 @@ fn bulk_session(seed: u64) -> usize {
         seed,
         SimDuration::from_secs(180),
     )
-    .unwrap();
-    out.trace.len()
 }
 
 /// A paced 180 s session: timer-heavy workload.
-fn paced_session(seed: u64) -> usize {
-    let out = run_cell(
+fn paced_spec(seed: u64) -> SessionSpec {
+    SessionSpec::new(
         Client::Firefox,
         Container::Flash,
         Video::new(1, 1_000_000, SimDuration::from_secs(2400)),
@@ -34,18 +32,39 @@ fn paced_session(seed: u64) -> usize {
         seed,
         SimDuration::from_secs(180),
     )
-    .unwrap();
-    out.trace.len()
 }
 
 fn bench_sessions(c: &mut Criterion) {
     let mut g = c.benchmark_group("sessions");
     g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(1));
+    // One scratch per bench, reused across iterations — the same shape as a
+    // `run_many` worker running sessions back to back, which is how every
+    // figure driver executes these.
     g.bench_function("bulk_120s_video", |b| {
-        b.iter(|| black_box(bulk_session(black_box(1))))
+        let spec = bulk_spec(1);
+        let mut scratch = SessionScratch::new();
+        b.iter(|| {
+            black_box(
+                black_box(&spec)
+                    .run_with_scratch(&mut scratch)
+                    .unwrap()
+                    .trace
+                    .len(),
+            )
+        })
     });
     g.bench_function("flash_paced_180s_capture", |b| {
-        b.iter(|| black_box(paced_session(black_box(2))))
+        let spec = paced_spec(2);
+        let mut scratch = SessionScratch::new();
+        b.iter(|| {
+            black_box(
+                black_box(&spec)
+                    .run_with_scratch(&mut scratch)
+                    .unwrap()
+                    .trace
+                    .len(),
+            )
+        })
     });
     g.finish();
 }
@@ -82,11 +101,13 @@ fn bench_analysis(c: &mut Criterion) {
 }
 
 /// Batch throughput of the parallel session executor: the same 8-session
-/// fan-out serially and across all cores. Sessions/second is
-/// `8 / reported time`; the jobs-N row should beat jobs-1 by roughly the
-/// core count (the acceptance floor is 2x at `--jobs 4`).
+/// fan-out serially and across all cores. The jobs-N row should beat jobs-1
+/// by roughly the core count (the acceptance floor is 2x at `--jobs 4`),
+/// while the per-worker sessions/s reported after the group isolates
+/// intra-session gains (scratch reuse, queue backend) from parallelism.
 fn bench_sessions_per_sec(c: &mut Criterion) {
-    let specs: Vec<SessionSpec> = (0..8)
+    const SESSIONS: u64 = 8;
+    let specs: Vec<SessionSpec> = (0..SESSIONS)
         .map(|i| {
             SessionSpec::new(
                 Client::Firefox,
@@ -98,16 +119,35 @@ fn bench_sessions_per_sec(c: &mut Criterion) {
             )
         })
         .collect();
-    let mut g = c.benchmark_group("parallel");
-    g.sample_size(10).measurement_time(Duration::from_secs(30)).warm_up_time(Duration::from_secs(2));
-    g.bench_function("run_many_8_sessions_jobs1", |b| {
-        b.iter(|| black_box(run_many_jobs(black_box(&specs), 1)))
-    });
     let all = vstream::default_jobs();
-    g.bench_function("run_many_8_sessions_jobs_all", |b| {
-        b.iter(|| black_box(run_many_jobs(black_box(&specs), all)))
-    });
-    g.finish();
+    let mut cases: Vec<(String, usize)> = vec![("run_many_8_sessions_jobs1".to_string(), 1)];
+    if all > 1 {
+        cases.push((format!("run_many_8_sessions_jobs{all}"), all));
+    }
+    {
+        let mut g = c.benchmark_group("parallel");
+        g.sample_size(10).measurement_time(Duration::from_secs(30)).warm_up_time(Duration::from_secs(2));
+        for (name, jobs) in &cases {
+            let jobs = *jobs;
+            g.bench_function(name, |b| {
+                b.iter(|| black_box(run_many_jobs(black_box(&specs), jobs)))
+            });
+        }
+        g.finish();
+    }
+    // Throughput report: sessions/s per worker is the number scratch-reuse
+    // and queue-backend work moves; the total is what parallelism moves.
+    for (name, jobs) in &cases {
+        let full = format!("parallel/{name}");
+        if let Some(r) = c.results().iter().find(|r| r.name == full) {
+            let total = SESSIONS as f64 / (r.median_ns / 1e9);
+            println!(
+                "{full:<45} thrpt: {total:.2} sessions/s across {jobs} worker(s) \
+                 = {:.2} sessions/s/worker",
+                total / *jobs as f64
+            );
+        }
+    }
 }
 
 fn bench_fluid_model(c: &mut Criterion) {

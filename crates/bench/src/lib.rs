@@ -12,9 +12,41 @@
 //! a substring argument (`cargo bench -- fig9`) filters benchmarks by name;
 //! `--quick` (or `BENCH_QUICK=1`) caps warm-up and measurement at a second
 //! for smoke runs.
+//!
+//! ## Recorded trajectories
+//!
+//! Perf work is only real if it is measured against a recorded baseline, so
+//! the harness can append each run to a JSON ledger:
+//!
+//! ```text
+//! cargo bench -p vstream-bench --bench substrates -- \
+//!     --json BENCH_substrates.json --label post-timing-wheel
+//! ```
+//!
+//! (or `BENCH_JSON=path BENCH_LABEL=name`). The file holds an array of run
+//! objects, one per invocation, each with the host's core count and every
+//! benchmark's ns/iter — successive PRs append to the same ledger, giving a
+//! reviewable perf trajectory instead of unverifiable claims.
 
 pub mod harness {
     use std::time::{Duration, Instant};
+
+    /// One benchmark's measured outcome, in nanoseconds per iteration.
+    #[derive(Clone, Debug)]
+    pub struct BenchResult {
+        /// `group/id` name.
+        pub name: String,
+        /// Fastest sample.
+        pub min_ns: f64,
+        /// Median sample — the headline number.
+        pub median_ns: f64,
+        /// Slowest sample.
+        pub max_ns: f64,
+        /// Samples taken.
+        pub samples: usize,
+        /// Iterations per sample.
+        pub iters: u64,
+    }
 
     /// Runs one benchmark's routine: `iter` is timed over a preset number
     /// of iterations per sample.
@@ -34,26 +66,44 @@ pub mod harness {
         }
     }
 
-    /// Top-level driver: parses the CLI filter once, hands out groups.
+    /// Top-level driver: parses the CLI filter once, hands out groups, and
+    /// accumulates results for the JSON ledger.
     pub struct Criterion {
         filter: Option<String>,
         quick: bool,
+        json_path: Option<String>,
+        label: String,
+        results: Vec<BenchResult>,
     }
 
     impl Default for Criterion {
         fn default() -> Self {
             let mut filter = None;
             let mut quick = std::env::var_os("BENCH_QUICK").is_some();
-            for arg in std::env::args().skip(1) {
+            let mut json_path = std::env::var("BENCH_JSON").ok();
+            let mut label = std::env::var("BENCH_LABEL").unwrap_or_default();
+            let mut args = std::env::args().skip(1);
+            while let Some(arg) = args.next() {
                 match arg.as_str() {
                     // Flags cargo-bench forwards that carry no meaning here.
                     "--bench" | "--nocapture" => {}
                     "--quick" => quick = true,
+                    "--json" => json_path = args.next(),
+                    "--label" => label = args.next().unwrap_or_default(),
                     s if s.starts_with('-') => {}
                     s => filter = Some(s.to_string()),
                 }
             }
-            Criterion { filter, quick }
+            if label.is_empty() {
+                label = "run".to_string();
+            }
+            Criterion {
+                filter,
+                quick,
+                json_path,
+                label,
+                results: Vec::new(),
+            }
         }
     }
 
@@ -61,18 +111,95 @@ pub mod harness {
         /// Starts a named benchmark group.
         pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
             BenchmarkGroup {
-                parent: self,
                 name: name.to_string(),
                 sample_size: 10,
                 measurement_time: Duration::from_secs(5),
                 warm_up_time: Duration::from_secs(3),
+                parent: self,
             }
         }
+
+        /// Every result measured so far, in execution order.
+        pub fn results(&self) -> &[BenchResult] {
+            &self.results
+        }
+
+        /// Appends this run's results to the JSON ledger, if one was
+        /// requested via `--json` / `BENCH_JSON`. Called by
+        /// `criterion_main!` after all groups have run.
+        pub fn finalize(&self) {
+            let Some(path) = &self.json_path else { return };
+            if self.results.is_empty() {
+                return;
+            }
+            let run = self.run_json();
+            let merged = match std::fs::read_to_string(path) {
+                Ok(existing) => append_run(&existing, &run),
+                Err(_) => format!("[\n{run}\n]\n"),
+            };
+            std::fs::write(path, merged).expect("write bench json ledger");
+            println!("wrote {} ({} benchmarks, label {:?})", path, self.results.len(), self.label);
+        }
+
+        fn run_json(&self) -> String {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let mut s = String::new();
+            s.push_str("  {\n");
+            s.push_str(&format!("    \"label\": {},\n", json_str(&self.label)));
+            s.push_str(&format!("    \"host_cores\": {cores},\n"));
+            s.push_str(&format!("    \"quick\": {},\n", self.quick));
+            s.push_str("    \"benchmarks\": [\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                s.push_str(&format!(
+                    "      {{\"name\": {}, \"ns_per_iter\": {:.1}, \"min_ns\": {:.1}, \
+                     \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{sep}\n",
+                    json_str(&r.name),
+                    r.median_ns,
+                    r.min_ns,
+                    r.max_ns,
+                    r.samples,
+                    r.iters,
+                ));
+            }
+            s.push_str("    ]\n  }");
+            s
+        }
+    }
+
+    /// Splices a new run object into an existing JSON array (text-level: the
+    /// ledger is always produced by this module, so the shape is known).
+    fn append_run(existing: &str, run: &str) -> String {
+        let trimmed = existing.trim_end();
+        match trimmed.strip_suffix(']') {
+            Some(head) if head.trim_end().ends_with('[') => {
+                // Empty array.
+                format!("{}\n{run}\n]\n", head.trim_end())
+            }
+            Some(head) => format!("{},\n{run}\n]\n", head.trim_end()),
+            None => format!("[\n{run}\n]\n"), // unrecognized: start fresh
+        }
+    }
+
+    fn json_str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
     }
 
     /// A group of related benchmarks sharing sampling parameters.
     pub struct BenchmarkGroup<'a> {
-        parent: &'a Criterion,
+        parent: &'a mut Criterion,
         name: String,
         sample_size: usize,
         measurement_time: Duration,
@@ -142,6 +269,14 @@ pub mod harness {
                 fmt_time(*samples.last().expect("non-empty")),
                 samples.len(),
             );
+            self.parent.results.push(BenchResult {
+                name: full,
+                min_ns: samples[0] * 1e9,
+                median_ns: median * 1e9,
+                max_ns: samples.last().expect("non-empty") * 1e9,
+                samples: samples.len(),
+                iters,
+            });
             self
         }
 
@@ -161,7 +296,8 @@ pub mod harness {
     }
 
     /// Criterion-compatible entry-point macros: each group function takes
-    /// `&mut Criterion`; `criterion_main!` builds the `main`.
+    /// `&mut Criterion`; `criterion_main!` builds the `main` and flushes the
+    /// JSON ledger once every group has run.
     #[macro_export]
     macro_rules! criterion_group {
         ($name:ident, $($target:path),+ $(,)?) => {
@@ -177,6 +313,7 @@ pub mod harness {
             fn main() {
                 let mut c = $crate::harness::Criterion::default();
                 $($group(&mut c);)+
+                c.finalize();
             }
         };
     }
@@ -200,5 +337,8 @@ mod tests {
         });
         g.finish();
         assert!(runs > 0, "benchmark closure never ran");
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "smoke/noop");
+        assert!(c.results()[0].median_ns >= 0.0);
     }
 }

@@ -12,12 +12,35 @@ use crate::record::{PacketRecord, TapDirection};
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     records: Vec<PacketRecord>,
+    /// Sorted, deduplicated connection ids — maintained incrementally on
+    /// `push` so [`Trace::connections`] (called repeatedly inside analysis
+    /// loops) never re-scans the capture. A session touches a handful of
+    /// connections, so the membership probe is a short binary search.
+    conns: Vec<u32>,
 }
 
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// An empty trace with room for `capacity` packets.
+    ///
+    /// A 180 s capture at a fast vantage point holds hundreds of thousands
+    /// of records; pre-sizing (from `NetworkProfile::expected_capture_packets`
+    /// or the previous session's length) avoids the doubling reallocations
+    /// while recording.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(capacity),
+            conns: Vec::new(),
+        }
+    }
+
+    /// Allocated record capacity.
+    pub fn capacity(&self) -> usize {
+        self.records.capacity()
     }
 
     /// Appends a captured packet.
@@ -30,6 +53,9 @@ impl Trace {
             self.records.last().is_none_or(|r| r.at <= at),
             "capture timestamps must be monotone"
         );
+        if let Err(pos) = self.conns.binary_search(&seg.conn) {
+            self.conns.insert(pos, seg.conn);
+        }
         self.records.push(PacketRecord { at, dir, seg });
     }
 
@@ -49,23 +75,20 @@ impl Trace {
     }
 
     /// Sorted list of connection ids present in the trace.
-    pub fn connections(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self.records.iter().map(|r| r.seg.conn).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+    pub fn connections(&self) -> &[u32] {
+        &self.conns
     }
 
     /// A sub-trace containing only the given connection.
     pub fn filter_connection(&self, conn: u32) -> Trace {
-        Trace {
-            records: self
-                .records
-                .iter()
-                .filter(|r| r.seg.conn == conn)
-                .copied()
-                .collect(),
-        }
+        let records: Vec<PacketRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.seg.conn == conn)
+            .copied()
+            .collect();
+        let conns = if records.is_empty() { Vec::new() } else { vec![conn] };
+        Trace { records, conns }
     }
 
     /// Incoming data packets (video payload), in order.
@@ -81,15 +104,23 @@ impl Trace {
     /// sequence space seen, which is how a trace analyser reconstructs
     /// goodput from a capture.
     pub fn download_series(&self) -> Vec<(SimTime, u64)> {
-        let mut high: BTreeMap<u32, u64> = BTreeMap::new();
+        // Per-connection high-water marks, indexed by the connection's rank
+        // in the sorted `conns` cache — a flat lookup instead of a per-call
+        // BTreeMap. The output is presized to the record count (an upper
+        // bound: only incoming data that advances a high-water mark emits a
+        // point).
+        let mut high = vec![0u64; self.conns.len()];
         let mut total = 0u64;
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.records.len());
         for r in self.incoming_data() {
             let end = r.seg.seq_end();
-            let h = high.entry(r.seg.conn).or_insert(0);
-            if end > *h {
-                total += end - *h;
-                *h = end;
+            let idx = self
+                .conns
+                .binary_search(&r.seg.conn)
+                .expect("conns cache tracks every pushed record");
+            if end > high[idx] {
+                total += end - high[idx];
+                high[idx] = end;
                 out.push((r.at, total));
             }
         }
@@ -100,18 +131,32 @@ impl Trace {
     /// network-load view used when quantifying overhead.
     pub fn raw_download_series(&self) -> Vec<(SimTime, u64)> {
         let mut total = 0u64;
-        self.incoming_data()
-            .map(|r| {
-                total += r.seg.payload as u64;
-                (r.at, total)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.records.len());
+        for r in self.incoming_data() {
+            total += r.seg.payload as u64;
+            out.push((r.at, total));
+        }
+        out
     }
 
     /// Total unique bytes downloaded (final value of
-    /// [`Trace::download_series`]).
+    /// [`Trace::download_series`]) — computed in one pass, without
+    /// materialising the series.
     pub fn total_downloaded(&self) -> u64 {
-        self.download_series().last().map_or(0, |&(_, v)| v)
+        let mut high = vec![0u64; self.conns.len()];
+        let mut total = 0u64;
+        for r in self.incoming_data() {
+            let end = r.seg.seq_end();
+            let idx = self
+                .conns
+                .binary_search(&r.seg.conn)
+                .expect("conns cache tracks every pushed record");
+            if end > high[idx] {
+                total += end - high[idx];
+                high[idx] = end;
+            }
+        }
+        total
     }
 
     /// Total raw payload bytes including retransmissions.
@@ -158,6 +203,11 @@ impl Trace {
     pub fn merge(&mut self, other: &Trace) {
         self.records.extend_from_slice(&other.records);
         self.records.sort_by_key(|r| r.at);
+        for &conn in &other.conns {
+            if let Err(pos) = self.conns.binary_search(&conn) {
+                self.conns.insert(pos, conn);
+            }
+        }
     }
 
     /// Incoming goodput binned over time: one `(bin_start, bits_per_sec)`
@@ -169,14 +219,18 @@ impl Trace {
             return Vec::new();
         };
         let t0 = first.at;
-        let mut bins: Vec<u64> = Vec::new();
+        // The capture is chronological, so the last record bounds the bin
+        // count; one up-front resize replaces incremental growth.
+        let last = self.records.last().expect("non-empty checked above");
+        let max_idx = (last.at.duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
+        let mut bins: Vec<u64> = vec![0; max_idx + 1];
+        let mut used = 0usize;
         for r in self.incoming_data() {
             let idx = (r.at.duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
-            if idx >= bins.len() {
-                bins.resize(idx + 1, 0);
-            }
             bins[idx] += r.seg.payload as u64;
+            used = used.max(idx + 1);
         }
+        bins.truncate(used);
         let secs = bin.as_secs_f64();
         bins.into_iter()
             .enumerate()
@@ -366,6 +420,31 @@ mod tests {
         assert_eq!(s[1].unique_bytes, 800);
         assert_eq!(s[0].first_seen, at(10));
         assert_eq!(s[0].last_seen, at(20));
+    }
+
+    #[test]
+    fn connections_cache_survives_merge_and_filter() {
+        let mut a = Trace::new();
+        a.push(at(1), TapDirection::Incoming, seg(3, 0, 100));
+        a.push(at(2), TapDirection::Incoming, seg(1, 0, 100));
+        assert_eq!(a.connections(), vec![1, 3], "sorted on push");
+
+        let mut b = Trace::new();
+        b.push(at(3), TapDirection::Incoming, seg(2, 0, 100));
+        b.push(at(4), TapDirection::Incoming, seg(3, 100, 100));
+        a.merge(&b);
+        assert_eq!(a.connections(), vec![1, 2, 3], "merge unions ids");
+
+        let f = a.filter_connection(2);
+        assert_eq!(f.connections(), vec![2]);
+        assert!(a.filter_connection(99).connections().is_empty());
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_records() {
+        let t = Trace::with_capacity(1024);
+        assert!(t.capacity() >= 1024);
+        assert!(t.is_empty());
     }
 
     #[test]

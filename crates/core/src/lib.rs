@@ -54,14 +54,15 @@ pub mod session;
 
 pub use session::{
     default_jobs, map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome,
-    SessionSpec,
+    SessionScratch, SessionSpec,
 };
 
 /// The most common imports for driving experiments.
 pub mod prelude {
     pub use crate::report::{FigureData, Series, TableData};
     pub use crate::session::{
-        map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome, SessionSpec,
+        map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome,
+        SessionScratch, SessionSpec,
     };
     pub use vstream_analysis::{classify, AnalysisConfig, Cdf, SessionPhases, Strategy};
     pub use vstream_app::{Video, PlayerStats};

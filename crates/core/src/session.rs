@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use vstream_app::engine::Engine;
+pub use vstream_app::engine::SessionScratch;
 use vstream_app::strategies::InterruptAfter;
 use vstream_app::{PlayerStats, Video};
 use vstream_capture::Trace;
@@ -88,8 +89,33 @@ impl SessionSpec {
     /// Runs the session. `None` for inapplicable Table 1 cells (mobile
     /// clients have no Flash).
     pub fn run(&self) -> Option<CellOutcome> {
+        let mut scratch = self.fresh_scratch();
+        self.run_with_scratch(&mut scratch)
+    }
+
+    /// Like [`SessionSpec::run`], but reusing (and replenishing) a worker's
+    /// [`SessionScratch`] so back-to-back sessions skip their warm-up
+    /// allocations. The outcome is bit-identical to [`SessionSpec::run`] —
+    /// scratch carries capacity, never state.
+    pub fn run_with_scratch(&self, scratch: &mut SessionScratch) -> Option<CellOutcome> {
         let logic = logic_for(self.client, self.container, self.video)?;
-        Some(finish(self.profile, self.seed, self.capture, logic, self.watch_time))
+        Some(finish(
+            self.profile,
+            self.seed,
+            self.capture,
+            logic,
+            self.watch_time,
+            scratch,
+        ))
+    }
+
+    /// A scratch pre-sized for this spec: the trace buffer starts at the
+    /// profile's line-rate packet bound, clamped so a 180 s capture at
+    /// 100 Mbps does not allocate millions of slots up front.
+    fn fresh_scratch(&self) -> SessionScratch {
+        SessionScratch::with_trace_capacity(
+            self.profile.expected_capture_packets(self.capture).min(1 << 16),
+        )
     }
 }
 
@@ -100,8 +126,18 @@ pub fn run_many(specs: &[SessionSpec]) -> Vec<Option<CellOutcome>> {
 }
 
 /// [`run_many`] with an explicit worker count.
+///
+/// Each worker keeps one [`SessionScratch`] alive across the sessions it
+/// runs, so only a worker's first session pays the queue/buffer/trace
+/// warm-up allocations. Scratch reuse never changes results — the
+/// jobs-invariance test below and `scripts/check_determinism.sh` hold this.
 pub fn run_many_jobs(specs: &[SessionSpec], jobs: usize) -> Vec<Option<CellOutcome>> {
-    exec::par_map(specs, jobs, SessionSpec::run)
+    exec::par_indexed_with(
+        specs.len(),
+        jobs,
+        || batch_scratch(specs),
+        |scratch, i| specs[i].run_with_scratch(scratch),
+    )
 }
 
 /// Runs every spec and reduces each outcome to `f(index, outcome)` **inside
@@ -114,9 +150,21 @@ where
     T: Send,
     F: Fn(usize, CellOutcome) -> T + Sync,
 {
-    exec::par_indexed(specs.len(), default_jobs(), |i| {
-        specs[i].run().map(|out| f(i, out))
-    })
+    exec::par_indexed_with(
+        specs.len(),
+        default_jobs(),
+        || batch_scratch(specs),
+        |scratch, i| specs[i].run_with_scratch(scratch).map(|out| f(i, out)),
+    )
+}
+
+/// The scratch a batch worker starts with: pre-sized from the first spec,
+/// since a batch is typically homogeneous in profile and capture length.
+fn batch_scratch(specs: &[SessionSpec]) -> SessionScratch {
+    specs
+        .first()
+        .map(SessionSpec::fresh_scratch)
+        .unwrap_or_default()
 }
 
 /// Everything measured from one simulated streaming session.
@@ -184,8 +232,14 @@ fn finish(
     capture: SimDuration,
     logic: StrategyLogic,
     watch_time: Option<SimDuration>,
+    scratch: &mut SessionScratch,
 ) -> CellOutcome {
-    let mut eng = Engine::new(profile.build_path(), seed, capture);
+    let mut eng = Engine::with_scratch(
+        profile.build_path(),
+        seed,
+        capture,
+        std::mem::take(scratch),
+    );
     let logic = match watch_time {
         Some(w) => {
             let mut wrapped = InterruptAfter::new(logic, w);
@@ -201,8 +255,10 @@ fn finish(
     let connections = eng.connection_count();
     let connection_stats = (0..connections).map(|c| eng.connection_stats(c)).collect();
     let base_rtt = eng.base_rtt();
+    let (trace, recycled) = eng.into_parts();
+    *scratch = recycled;
     CellOutcome {
-        trace: eng.into_trace(),
+        trace,
         logic,
         connections,
         connection_stats,

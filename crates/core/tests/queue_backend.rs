@@ -1,0 +1,39 @@
+//! Full-session equivalence of the two event-queue backends.
+//!
+//! The sim crate's unit tests prove the timing wheel and the binary heap
+//! are observationally identical under randomized schedule/pop
+//! interleavings. This test closes the loop at the other end of the stack:
+//! an entire simulated streaming session — TCP, loss, pacing, capture,
+//! figure reduction — rendered to CSV must come out byte-identical under
+//! either backend.
+//!
+//! Both passes live in ONE test function: the backend selector is process
+//! global, and the test harness runs `#[test]` functions concurrently, so
+//! splitting the passes into separate tests would race on it. Keep this
+//! file to this single test for the same reason.
+
+use vstream::figures::{fig1_phases, fig2_short_onoff};
+use vstream_sim::{default_backend, set_default_backend, QueueBackend};
+
+#[test]
+fn wheel_and_heap_render_identical_csv() {
+    let render = |backend: QueueBackend| {
+        set_default_backend(backend);
+        // fig1: server-paced Flash on the clean Research path. fig2: the
+        // short-ON/OFF strategy on the lossy Residence path, where RTO and
+        // probe timers actually fire — the schedules that stress bucket
+        // rollover and the spill heap.
+        let fig1 = fig1_phases(1).to_csv();
+        let (fig2a, fig2b) = fig2_short_onoff(1);
+        (fig1, fig2a.to_csv() + &fig2b.to_csv())
+    };
+
+    let restore = default_backend();
+    let heap = render(QueueBackend::Heap);
+    let wheel = render(QueueBackend::Wheel);
+    set_default_backend(restore);
+
+    assert_eq!(heap.0, wheel.0, "fig1 CSV differs between queue backends");
+    assert_eq!(heap.1, wheel.1, "fig2 CSV differs between queue backends");
+    assert!(heap.0.lines().count() > 10, "fig1 CSV suspiciously empty");
+}

@@ -99,7 +99,16 @@ impl Link {
     /// Bytes currently waiting behind the transmitter at time `now`.
     pub fn backlog_bytes(&self, now: SimTime) -> u64 {
         let waiting = self.busy_until.saturating_duration_since(now);
-        (waiting.as_nanos() as u128 * self.config.rate_bps as u128 / 8 / 1_000_000_000) as u64
+        // u64 fast path (same result): backlogs are bounded by the queue
+        // capacity, so `nanos * rate` only overflows u64 in degenerate
+        // configurations; this runs for every offered packet.
+        match waiting.as_nanos().checked_mul(self.config.rate_bps) {
+            Some(prod) => prod / 8 / 1_000_000_000,
+            None => {
+                (waiting.as_nanos() as u128 * self.config.rate_bps as u128 / 8 / 1_000_000_000)
+                    as u64
+            }
+        }
     }
 
     /// True if the transmitter is idle at time `now`.

@@ -90,6 +90,71 @@ where
         .collect()
 }
 
+/// [`par_indexed`] with per-worker scratch state.
+///
+/// Each worker thread calls `init()` once to build its private scratch
+/// value, then runs `f(&mut scratch, i)` for every index it claims. The
+/// scratch gives back-to-back sessions on one worker a place to recycle
+/// allocations (event-queue storage, segment buffers, trace capacity)
+/// without any cross-thread sharing.
+///
+/// The determinism contract is unchanged — but note it now also requires
+/// that `f`'s *output* not depend on the scratch's history, only its own
+/// index. Scratch may legitimately carry capacity hints and reusable
+/// buffers; it must never carry simulation state across calls. The serial
+/// path uses a single scratch for the whole batch, so any violation shows
+/// up as a `--jobs` dependence the determinism suite catches.
+///
+/// # Panics
+/// If `f` panics for any index, the panic is resurfaced on the calling
+/// thread after the scope joins.
+pub fn par_indexed_with<T, S, I, F>(n: usize, jobs: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = jobs.min(n).max(1);
+    if workers == 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = init();
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&mut scratch, i)));
+                }
+                if !local.is_empty() {
+                    let mut slots = slots.lock().expect("executor slots poisoned");
+                    for (i, value) in local {
+                        slots[i] = Some(value);
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("executor slots poisoned")
+        .iter_mut()
+        .map(|slot| slot.take().expect("executor: missing result slot"))
+        .collect()
+}
+
 /// Maps `f` over `items` in parallel, preserving input order in the output.
 ///
 /// Convenience wrapper over [`par_indexed`] for callers that already hold a
@@ -165,6 +230,41 @@ mod tests {
             assert_eq!(v.len(), i % 5);
             assert!(v.iter().all(|&x| x == i));
         }
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_for_pure_functions() {
+        let f = |i: usize| (i as u64).wrapping_mul(0xC2B2_AE35).rotate_left(7);
+        let plain = par_indexed(123, 1, f);
+        for jobs in [1, 2, 8] {
+            let with = par_indexed_with(123, jobs, Vec::<u64>::new, |buf, i| {
+                // Scratch is reused across indices on a worker...
+                buf.push(i as u64);
+                // ...but the output depends only on the index.
+                f(i)
+            });
+            assert_eq!(with, plain, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn scratch_init_runs_once_per_worker_serial() {
+        let inits = AtomicU64::new(0);
+        let out = par_indexed_with(
+            10,
+            1,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |s, i| {
+                *s += 1;
+                (*s, i)
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "serial path shares one scratch");
+        // The scratch accumulated across the whole batch.
+        assert_eq!(out.last(), Some(&(10, 9)));
     }
 
     #[test]

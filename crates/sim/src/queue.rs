@@ -13,11 +13,89 @@
 //! [`EventQueue::reset`], and the schedule-into-the-past causality check is a
 //! `debug_assert!` rather than an unconditional branch-and-panic. Release
 //! builds that need a recoverable check use [`EventQueue::try_schedule`].
+//!
+//! ## Backends
+//!
+//! Two interchangeable storage backends implement the same total order
+//! (earliest `(time, seq)` first), so they are observationally identical —
+//! every pop sequence, and therefore every simulation output, is
+//! bit-identical between them:
+//!
+//! * [`QueueBackend::Wheel`] (the default) — a bucketed calendar queue: a
+//!   ring of [`WHEEL_BUCKETS`] buckets of `2^`[`WHEEL_SHIFT`] ns each
+//!   (~1 ms), with a spillover binary heap for events beyond the ~270 ms
+//!   horizon. Scheduling into the window is O(1); popping sorts one small
+//!   bucket at a time instead of sifting a global heap, which keeps the
+//!   touched memory cache-resident during packet-dense phases.
+//! * [`QueueBackend::Heap`] — the classic `BinaryHeap` future-event list,
+//!   kept as the reference implementation and as a fallback; the
+//!   `VSTREAM_QUEUE=heap` environment variable selects it process-wide
+//!   without recompiling.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
 use crate::time::SimTime;
+
+/// log2 of the wheel bucket width in nanoseconds (2^20 ns ≈ 1.05 ms).
+///
+/// Sized so that one bucket holds a handful of packet events at the fastest
+/// profile (100 Mbps ⇒ ~9 MSS serializations per bucket) and the in-window
+/// horizon covers a queueing-delayed RTT, which is where almost all delivery
+/// events land.
+pub const WHEEL_SHIFT: u32 = 20;
+
+/// Number of buckets in the wheel ring (must be a power of two). With
+/// [`WHEEL_SHIFT`] this gives a ~268 ms in-window horizon; RTO and
+/// application timers beyond it take the spillover heap, which they hit
+/// rarely enough not to matter.
+pub const WHEEL_BUCKETS: usize = 256;
+
+const WHEEL_MASK: u64 = (WHEEL_BUCKETS as u64) - 1;
+
+/// Selects the [`EventQueue`] storage backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Bucketed calendar queue (the default; see module docs).
+    #[default]
+    Wheel,
+    /// Reference `BinaryHeap` future-event list.
+    Heap,
+}
+
+/// Process-wide default backend: 0 = unset (consult `VSTREAM_QUEUE`),
+/// 1 = wheel, 2 = heap.
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the backend used by [`EventQueue::new`] /
+/// [`EventQueue::with_capacity`] process-wide. Intended for A/B perf and
+/// equivalence runs; results do not depend on the choice.
+pub fn set_default_backend(backend: QueueBackend) {
+    let v = match backend {
+        QueueBackend::Wheel => 1,
+        QueueBackend::Heap => 2,
+    };
+    DEFAULT_BACKEND.store(v, AtomicOrdering::Relaxed);
+}
+
+/// The backend new queues are built with: an explicit
+/// [`set_default_backend`] call wins, then the `VSTREAM_QUEUE` environment
+/// variable (`wheel` / `heap`), then [`QueueBackend::Wheel`].
+pub fn default_backend() -> QueueBackend {
+    match DEFAULT_BACKEND.load(AtomicOrdering::Relaxed) {
+        1 => QueueBackend::Wheel,
+        2 => QueueBackend::Heap,
+        _ => {
+            let from_env = match std::env::var("VSTREAM_QUEUE").as_deref() {
+                Ok("heap") => QueueBackend::Heap,
+                _ => QueueBackend::Wheel,
+            };
+            set_default_backend(from_env);
+            from_env
+        }
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -47,6 +125,151 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+#[inline]
+fn bucket_of(at: SimTime) -> u64 {
+    at.as_nanos() >> WHEEL_SHIFT
+}
+
+/// The calendar-queue backend. Invariants between calls:
+///
+/// * `current` holds the events of absolute bucket `cursor`, sorted in
+///   *descending* `(at, seq)` order so the earliest entry is `pop()`ed off
+///   the tail without shifting.
+/// * `buckets[a & MASK]` holds (unsorted) the events of absolute bucket `a`
+///   for `a` in `(cursor, cursor + WHEEL_BUCKETS)`.
+/// * `spill` holds every event at or beyond bucket `cursor + WHEEL_BUCKETS`;
+///   each time the cursor advances, newly in-window spill events migrate to
+///   their buckets.
+struct Wheel<E> {
+    current: Vec<Entry<E>>,
+    buckets: Vec<Vec<Entry<E>>>,
+    spill: BinaryHeap<Entry<E>>,
+    cursor: u64,
+    len: usize,
+}
+
+impl<E> Wheel<E> {
+    fn with_capacity(capacity: usize) -> Self {
+        // The ring buckets start empty and grow on demand: pre-sizing all
+        // 256 would cost 256 allocations per fresh queue, while a reused
+        // queue (the common case — see `SessionScratch`) keeps whatever
+        // each bucket grew to. Only the two structures that see traffic
+        // from the first event get capacity up front.
+        Wheel {
+            current: Vec::with_capacity(capacity / 2),
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            spill: BinaryHeap::with_capacity(capacity / 2),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.current.capacity()
+            + self.spill.capacity()
+            + self.buckets.iter().map(Vec::capacity).sum::<usize>()
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        let b = bucket_of(entry.at);
+        debug_assert!(b >= self.cursor, "event scheduled behind the wheel cursor");
+        if b == self.cursor {
+            // Into the open bucket: keep the descending sort. The new entry
+            // has the highest seq so far, so among equal times it sorts
+            // last in (at, seq) order — i.e. *earliest* in the descending
+            // vector — and partition_point finds the slot in O(log n).
+            let at = entry.at;
+            let idx = self.current.partition_point(|e| e.at > at);
+            self.current.insert(idx, entry);
+        } else if b - self.cursor < WHEEL_BUCKETS as u64 {
+            self.buckets[(b & WHEEL_MASK) as usize].push(entry);
+        } else {
+            self.spill.push(entry);
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.current.is_empty() {
+            self.advance();
+        }
+        let entry = self.current.pop()?;
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// Earliest pending `(time)` without mutating. O(1) while the open
+    /// bucket is non-empty; otherwise one ring scan.
+    fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.current.last() {
+            return Some(e.at);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        for d in 1..WHEEL_BUCKETS as u64 {
+            let b = &self.buckets[((self.cursor + d) & WHEEL_MASK) as usize];
+            if !b.is_empty() {
+                return b.iter().map(|e| e.at).min();
+            }
+        }
+        self.spill.peek().map(|e| e.at)
+    }
+
+    /// Moves the cursor to the next non-empty bucket, migrates newly
+    /// in-window spill events, and sorts the opened bucket.
+    fn advance(&mut self) {
+        debug_assert!(self.current.is_empty() && self.len > 0);
+        let mut next = None;
+        for d in 1..WHEEL_BUCKETS as u64 {
+            let a = self.cursor + d;
+            if !self.buckets[(a & WHEEL_MASK) as usize].is_empty() {
+                next = Some(a);
+                break;
+            }
+        }
+        let a = next.unwrap_or_else(|| {
+            bucket_of(self.spill.peek().expect("len > 0 with empty wheel").at)
+        });
+        self.cursor = a;
+        std::mem::swap(&mut self.current, &mut self.buckets[(a & WHEEL_MASK) as usize]);
+        // Spill events now inside the window move to their real buckets (the
+        // heap pops them in time order, so this drains exactly the prefix).
+        while let Some(e) = self.spill.peek() {
+            let b = bucket_of(e.at);
+            if b >= a + WHEEL_BUCKETS as u64 {
+                break;
+            }
+            let entry = self.spill.pop().expect("peeked entry");
+            if b == a {
+                self.current.push(entry);
+            } else {
+                self.buckets[(b & WHEEL_MASK) as usize].push(entry);
+            }
+        }
+        self.current
+            .sort_unstable_by(|x, y| (y.at, y.seq).cmp(&(x.at, x.seq)));
+    }
+
+    fn clear(&mut self) {
+        self.current.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.spill.clear();
+        self.cursor = 0;
+        self.len = 0;
+    }
+}
+
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Wheel(Wheel<E>),
+}
+
 /// A deterministic future-event list.
 ///
 /// Events are popped in non-decreasing time order; ties are broken by
@@ -56,28 +279,52 @@ impl<E> Ord for Entry<E> {
 /// current time so the simulation stays monotonic (use [`Self::try_schedule`]
 /// where the caller wants to observe the error instead).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: SimTime,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`], using the
+    /// process-wide [`default_backend`].
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
 
-    /// Creates an empty queue pre-sized for `capacity` pending events.
+    /// Creates an empty queue pre-sized for `capacity` pending events, using
+    /// the process-wide [`default_backend`].
     ///
     /// A streaming session keeps a bounded working set of in-flight events
-    /// (segments on the wire, timers, application wake-ups); sizing the heap
-    /// for that working set up front avoids the doubling reallocations during
-    /// the first seconds of simulated time.
+    /// (segments on the wire, timers, application wake-ups); sizing the
+    /// backend for that working set up front avoids the doubling
+    /// reallocations during the first seconds of simulated time.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_backend(capacity, default_backend())
+    }
+
+    /// Creates an empty queue on an explicitly chosen backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Self::with_capacity_and_backend(0, backend)
+    }
+
+    /// [`Self::with_capacity`] on an explicitly chosen backend.
+    pub fn with_capacity_and_backend(capacity: usize, backend: QueueBackend) -> Self {
+        let backend = match backend {
+            QueueBackend::Heap => Backend::Heap(BinaryHeap::with_capacity(capacity)),
+            QueueBackend::Wheel => Backend::Wheel(Wheel::with_capacity(capacity)),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            backend,
             next_seq: 0,
             now: SimTime::ZERO,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.backend {
+            Backend::Heap(_) => QueueBackend::Heap,
+            Backend::Wheel(_) => QueueBackend::Wheel,
         }
     }
 
@@ -89,17 +336,24 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Wheel(w) => w.len,
+        }
     }
 
-    /// Allocated capacity of the underlying heap.
+    /// Allocated capacity of the underlying storage (summed across the
+    /// wheel's buckets for the calendar backend).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Heap(h) => h.capacity(),
+            Backend::Wheel(w) => w.capacity(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `event` to fire at time `at`.
@@ -138,36 +392,83 @@ impl<E> EventQueue<E> {
     fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let entry = Entry { at, seq, event };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Wheel(w) => w.push(entry),
+        }
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Heap(h) => h.peek().map(|e| e.at),
+            Backend::Wheel(w) => w.peek_time(),
+        }
     }
 
     /// Pops the earliest pending event and advances the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        let entry = match &mut self.backend {
+            Backend::Heap(h) => h.pop()?,
+            Backend::Wheel(w) => w.pop()?,
+        };
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         Some((entry.at, entry.event))
     }
 
+    /// Pops the earliest pending event if it fires at or before `limit`.
+    ///
+    /// This is the session loop's fused peek-then-pop: one backend probe per
+    /// iteration instead of two, with identical semantics to
+    /// `peek_time() <= limit` followed by `pop()`.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Heap(h) => {
+                if h.peek()?.at > limit {
+                    return None;
+                }
+                let entry = h.pop().expect("peeked entry");
+                debug_assert!(entry.at >= self.now);
+                self.now = entry.at;
+                Some((entry.at, entry.event))
+            }
+            Backend::Wheel(w) => {
+                // Peek before advancing: the cursor may only move when an
+                // event is actually popped, otherwise `now` (still at the
+                // last popped time) could fall behind the cursor and a
+                // subsequent schedule would land behind the wheel. While the
+                // open bucket is non-empty — the steady state — the peek is
+                // a single O(1) tail read.
+                if w.peek_time()? > limit {
+                    return None;
+                }
+                let entry = w.pop().expect("peeked entry");
+                debug_assert!(entry.at >= self.now);
+                self.now = entry.at;
+                Some((entry.at, entry.event))
+            }
+        }
+    }
+
     /// Discards all pending events without advancing the clock.
     ///
-    /// The heap's allocation is retained.
+    /// The backend's allocations are retained.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(h) => h.clear(),
+            Backend::Wheel(w) => w.clear(),
+        }
     }
 
     /// Rewinds the queue to its initial state — empty, clock at
-    /// [`SimTime::ZERO`], sequence counter reset — while keeping the heap's
-    /// allocation, so one queue can be reused across back-to-back sessions
-    /// without reallocating.
+    /// [`SimTime::ZERO`], sequence counter reset — while keeping the
+    /// backend's allocations, so one queue can be reused across back-to-back
+    /// sessions without reallocating.
     pub fn reset(&mut self) {
-        self.heap.clear();
+        self.clear();
         self.next_seq = 0;
         self.now = SimTime::ZERO;
     }
@@ -185,37 +486,45 @@ mod tests {
     use crate::rng::SimRng;
     use crate::time::SimDuration;
 
+    const BOTH: [QueueBackend; 2] = [QueueBackend::Wheel, QueueBackend::Heap];
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(30), "c");
-        q.schedule(SimTime::from_millis(10), "a");
-        q.schedule(SimTime::from_millis(20), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
-        assert_eq!(q.pop(), None);
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_millis(30), "c");
+            q.schedule(SimTime::from_millis(10), "a");
+            q.schedule(SimTime::from_millis(20), "b");
+            assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((t, i)));
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            let t = SimTime::from_secs(1);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
         }
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.schedule(SimTime::from_secs(5), ());
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(5));
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.schedule(SimTime::from_secs(5), ());
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(5));
+        }
     }
 
     #[test]
@@ -230,62 +539,122 @@ mod tests {
 
     #[test]
     fn try_schedule_rejects_past_and_returns_event() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(2), 'a');
-        q.pop();
-        assert_eq!(q.try_schedule(SimTime::from_secs(1), 'b'), Err('b'));
-        assert_eq!(q.try_schedule(SimTime::from_secs(2), 'c'), Ok(()));
-        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 'c')));
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_secs(2), 'a');
+            q.pop();
+            assert_eq!(q.try_schedule(SimTime::from_secs(1), 'b'), Err('b'));
+            assert_eq!(q.try_schedule(SimTime::from_secs(2), 'c'), Ok(()));
+            assert_eq!(q.pop(), Some((SimTime::from_secs(2), 'c')));
+        }
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(7), 'x');
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
-        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(7));
-        assert_eq!(q.peek_time(), None);
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_millis(7), 'x');
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+            assert_eq!(q.pop().unwrap().0, SimTime::from_millis(7));
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_limit() {
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_millis(10), 'a');
+            q.schedule(SimTime::from_secs(10), 'b');
+            assert_eq!(
+                q.pop_before(SimTime::from_secs(1)),
+                Some((SimTime::from_millis(10), 'a'))
+            );
+            assert_eq!(q.pop_before(SimTime::from_secs(1)), None);
+            assert_eq!(q.len(), 1, "beyond-limit event must stay queued");
+            assert_eq!(q.pop_before(SimTime::from_secs(10)), Some((SimTime::from_secs(10), 'b')));
+            assert_eq!(q.pop_before(SimTime::MAX), None);
+        }
     }
 
     #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(1), ());
-        q.schedule(SimTime::from_secs(2), ());
-        assert_eq!(q.len(), 2);
-        assert!(!q.is_empty());
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.now(), SimTime::ZERO);
+        for backend in BOTH {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_secs(1), ());
+            q.schedule(SimTime::from_secs(2), ());
+            assert_eq!(q.len(), 2);
+            assert!(!q.is_empty());
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.now(), SimTime::ZERO);
+        }
     }
 
     #[test]
     fn with_capacity_pre_sizes() {
-        let q: EventQueue<()> = EventQueue::with_capacity(1024);
-        assert!(q.capacity() >= 1024);
-        assert!(q.is_empty());
-        assert_eq!(q.now(), SimTime::ZERO);
+        for backend in BOTH {
+            let q: EventQueue<()> = EventQueue::with_capacity_and_backend(1024, backend);
+            assert!(q.capacity() >= 1024, "{backend:?}");
+            assert!(q.is_empty());
+            assert_eq!(q.now(), SimTime::ZERO);
+        }
     }
 
     #[test]
     fn reset_reuses_allocation() {
-        let mut q = EventQueue::with_capacity(64);
-        for i in 0..64 {
-            q.schedule(SimTime::from_millis(i), i);
+        for backend in BOTH {
+            let mut q = EventQueue::with_capacity_and_backend(64, backend);
+            for i in 0..64 {
+                q.schedule(SimTime::from_millis(i), i);
+            }
+            while q.pop().is_some() {}
+            assert_ne!(q.now(), SimTime::ZERO);
+            let cap = q.capacity();
+            q.reset();
+            assert!(q.is_empty());
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert_eq!(q.capacity(), cap, "{backend:?}");
+            // Sequence counter restarted: FIFO order matches a fresh queue.
+            let t = SimTime::from_secs(1);
+            q.schedule(t, 7);
+            q.schedule(t, 8);
+            assert_eq!(q.pop(), Some((t, 7)));
+            assert_eq!(q.pop(), Some((t, 8)));
         }
-        while q.pop().is_some() {}
-        assert_ne!(q.now(), SimTime::ZERO);
-        let cap = q.capacity();
-        q.reset();
-        assert!(q.is_empty());
-        assert_eq!(q.now(), SimTime::ZERO);
-        assert_eq!(q.capacity(), cap);
-        // Sequence counter restarted: FIFO order matches a fresh queue.
-        let t = SimTime::from_secs(1);
-        q.schedule(t, 7);
-        q.schedule(t, 8);
-        assert_eq!(q.pop(), Some((t, 7)));
-        assert_eq!(q.pop(), Some((t, 8)));
+    }
+
+    #[test]
+    fn wheel_handles_events_beyond_the_horizon() {
+        // Events far past the wheel window land in the spillover heap and
+        // still come out in exact order, including ties with in-window ones.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let horizon = SimTime::from_nanos((WHEEL_BUCKETS as u64) << WHEEL_SHIFT);
+        q.schedule(horizon + SimDuration::from_secs(30), 'd');
+        q.schedule(SimTime::from_millis(1), 'a');
+        q.schedule(horizon + SimDuration::from_secs(5), 'c');
+        q.schedule(SimTime::from_millis(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn wheel_spill_migrates_into_open_bucket() {
+        // A spill event whose bucket becomes the *opened* bucket after a
+        // long jump must be delivered from `current`, interleaved correctly
+        // with events scheduled right after the jump.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let far = SimTime::from_secs(100);
+        q.schedule(far, 1);
+        q.schedule(far + SimDuration::from_nanos(1), 2);
+        q.schedule(SimTime::from_millis(1), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 0)));
+        assert_eq!(q.pop(), Some((far, 1)));
+        // Now schedule into the open bucket behind the pending entry.
+        q.schedule(far + SimDuration::from_nanos(1), 3);
+        assert_eq!(q.pop(), Some((far + SimDuration::from_nanos(1), 2)));
+        assert_eq!(q.pop(), Some((far + SimDuration::from_nanos(1), 3)));
+        assert_eq!(q.pop(), None);
     }
 
     /// Whatever the scheduling order, pops come out sorted by time, and
@@ -293,23 +662,96 @@ mod tests {
     /// over seeded random schedules (formerly a proptest).
     #[test]
     fn pops_sorted_and_stable_random_schedules() {
-        for seed in 0..32u64 {
-            let mut rng = SimRng::new(0x5EED_0000 + seed);
-            let n = 1 + rng.choose_index(200);
-            let mut q = EventQueue::new();
-            for i in 0..n {
-                let off = rng.uniform_u64(0, 100);
-                q.schedule(SimTime::ZERO + SimDuration::from_millis(off), i);
+        for backend in BOTH {
+            for seed in 0..32u64 {
+                let mut rng = SimRng::new(0x5EED_0000 + seed);
+                let n = 1 + rng.choose_index(200);
+                let mut q = EventQueue::with_backend(backend);
+                for i in 0..n {
+                    let off = rng.uniform_u64(0, 100);
+                    q.schedule(SimTime::ZERO + SimDuration::from_millis(off), i);
+                }
+                let mut last: Option<(SimTime, usize)> = None;
+                while let Some((t, idx)) = q.pop() {
+                    if let Some((lt, lidx)) = last {
+                        assert!(t >= lt, "{backend:?} seed {seed}: time went backwards");
+                        if t == lt {
+                            assert!(
+                                idx > lidx,
+                                "{backend:?} seed {seed}: FIFO violated for simultaneous events"
+                            );
+                        }
+                    }
+                    last = Some((t, idx));
+                }
             }
-            let mut last: Option<(SimTime, usize)> = None;
-            while let Some((t, idx)) = q.pop() {
-                if let Some((lt, lidx)) = last {
-                    assert!(t >= lt, "seed {seed}: time went backwards");
-                    if t == lt {
-                        assert!(idx > lidx, "seed {seed}: FIFO violated for simultaneous events");
+        }
+    }
+
+    /// The backend-equivalence sweep the wheel's correctness rests on:
+    /// seeded random interleavings of `schedule` / `try_schedule` / `pop` /
+    /// `pop_before` / `reset` driven against both backends in lock-step must
+    /// observe identical results at every step.
+    #[test]
+    fn backends_are_observationally_identical() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::new(0xE100_0000 + seed);
+            let mut wheel = EventQueue::with_backend(QueueBackend::Wheel);
+            let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+            let mut label = 0u64;
+            for step in 0..600 {
+                match rng.choose_index(10) {
+                    // Schedule near, far, and at the current instant; the
+                    // span crosses the wheel horizon in both directions.
+                    0..=4 => {
+                        let off = match rng.choose_index(3) {
+                            0 => rng.uniform_u64(0, 2_000_000),          // in-bucket
+                            1 => rng.uniform_u64(0, 300_000_000),        // in-window
+                            _ => rng.uniform_u64(0, 3_000_000_000),      // spill
+                        };
+                        let at = wheel.now() + SimDuration::from_nanos(off);
+                        wheel.schedule(at, label);
+                        heap.schedule(at, label);
+                        label += 1;
+                    }
+                    5 => {
+                        let off = rng.uniform_u64(0, 500_000_000);
+                        let at = SimTime::ZERO + SimDuration::from_nanos(off);
+                        let a = wheel.try_schedule(at, label);
+                        let b = heap.try_schedule(at, label);
+                        assert_eq!(a.is_ok(), b.is_ok(), "seed {seed} step {step}");
+                        label += 1;
+                    }
+                    6..=7 => {
+                        assert_eq!(wheel.pop(), heap.pop(), "seed {seed} step {step}");
+                    }
+                    8 => {
+                        let limit = heap.now() + SimDuration::from_nanos(rng.uniform_u64(0, 400_000_000));
+                        assert_eq!(
+                            wheel.pop_before(limit),
+                            heap.pop_before(limit),
+                            "seed {seed} step {step}"
+                        );
+                    }
+                    _ => {
+                        if rng.choose_index(8) == 0 {
+                            wheel.reset();
+                            heap.reset();
+                        } else {
+                            assert_eq!(wheel.peek_time(), heap.peek_time(), "seed {seed} step {step}");
+                        }
                     }
                 }
-                last = Some((t, idx));
+                assert_eq!(wheel.len(), heap.len(), "seed {seed} step {step}");
+                assert_eq!(wheel.now(), heap.now(), "seed {seed} step {step}");
+            }
+            // Drain both completely: the tails must match too.
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                assert_eq!(a, b, "seed {seed} drain");
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

@@ -324,16 +324,33 @@ impl Endpoint {
     /// # Panics
     /// Panics if called after [`Endpoint::close`].
     pub fn write(&mut self, now: SimTime, bytes: u64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.write_into(now, bytes, &mut out);
+        out
+    }
+
+    /// [`Self::write`] appending the outgoing segments to `out` instead of
+    /// allocating. The session loop calls these `_into` variants with one
+    /// reused buffer per engine; the `Vec`-returning forms stay for tests
+    /// and one-shot callers.
+    pub fn write_into(&mut self, now: SimTime, bytes: u64, out: &mut Vec<Segment>) {
         assert!(!self.fin_queued, "write() after close()");
         self.write_offset += bytes;
-        self.pump(now)
+        self.pump_into(now, out);
     }
 
     /// Signals that the application is done writing; a FIN is sent once all
     /// queued data has been transmitted.
     pub fn close(&mut self, now: SimTime) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.close_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::close`] appending to `out` instead of allocating.
+    pub fn close_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         self.fin_queued = true;
-        self.pump(now)
+        self.pump_into(now, out);
     }
 
     /// Reads up to `max` bytes from the receive buffer.
@@ -343,14 +360,21 @@ impl Endpoint {
     /// at least one MSS, so a sender stalled on a zero window resumes without
     /// waiting for a persist probe).
     pub fn read(&mut self, now: SimTime, max: u64) -> (u64, Vec<Segment>) {
+        let mut out = Vec::new();
+        let n = self.read_into(now, max, &mut out);
+        (n, out)
+    }
+
+    /// [`Self::read`] appending any window-update ACK to `out`; returns the
+    /// bytes consumed.
+    pub fn read_into(&mut self, now: SimTime, max: u64, out: &mut Vec<Segment>) -> u64 {
         let _ = now;
         let window_before = self.rb.window();
         let n = self.rb.read(max);
-        let mut out = Vec::new();
         if n > 0 && window_before < self.cfg.mss as u64 && self.rb.window() >= self.cfg.mss as u64 {
             out.push(self.make_ack());
         }
-        (n, out)
+        n
     }
 
     // ------------------------------------------------------------------
@@ -359,9 +383,16 @@ impl Endpoint {
 
     /// Handles a segment arriving from the peer.
     pub fn on_segment(&mut self, now: SimTime, seg: Segment) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.on_segment_into(now, seg, &mut out);
+        out
+    }
+
+    /// [`Self::on_segment`] appending the responses to `out` instead of
+    /// allocating a fresh `Vec` per arriving packet.
+    pub fn on_segment_into(&mut self, now: SimTime, seg: Segment, out: &mut Vec<Segment>) {
         debug_assert_eq!(seg.conn, self.conn, "segment routed to wrong connection");
         self.recovery_quota = 1;
-        let mut out = Vec::new();
 
         // --- Handshake transitions ---
         match self.state {
@@ -372,7 +403,7 @@ impl Endpoint {
                     out.push(self.make_segment(0, 0, true, false)); // SYN-ACK
                 }
                 self.absorb_window(&seg);
-                return out;
+                return;
             }
             State::SynSent => {
                 if seg.syn && seg.ack {
@@ -383,15 +414,15 @@ impl Endpoint {
                     }
                     self.absorb_window(&seg);
                     out.push(self.make_ack());
-                    out.extend(self.pump(now));
+                    self.pump_into(now, out);
                 }
-                return out;
+                return;
             }
             State::SynRcvd => {
                 if seg.syn {
                     // Our SYN-ACK was lost; the peer retransmitted its SYN.
                     out.push(self.make_segment(0, 0, true, false));
-                    return out;
+                    return;
                 }
                 if seg.ack {
                     self.state = State::Established;
@@ -400,13 +431,13 @@ impl Endpoint {
                 // Fall through: the ACK completing the handshake may carry
                 // data (or this may be the first data segment).
             }
-            State::Closed => return out,
+            State::Closed => return,
             State::Established => {}
         }
 
         // --- ACK processing (send side) ---
         if seg.ack {
-            self.process_ack(now, &seg, &mut out);
+            self.process_ack(now, &seg, out);
         }
 
         // --- Data and FIN (receive side) ---
@@ -438,8 +469,7 @@ impl Endpoint {
             }
         }
 
-        out.extend(self.pump(now));
-        out
+        self.pump_into(now, out);
     }
 
     /// Earliest pending timer deadline, if any.
@@ -452,20 +482,25 @@ impl Endpoint {
 
     /// Fires whichever timers have expired at `now`.
     pub fn on_timer(&mut self, now: SimTime) -> Vec<Segment> {
-        self.recovery_quota = 1;
         let mut out = Vec::new();
+        self.on_timer_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::on_timer`] appending to `out` instead of allocating.
+    pub fn on_timer_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        self.recovery_quota = 1;
         if self.rto_deadline.is_some_and(|d| d <= now) {
             self.rto_deadline = None;
-            out.extend(self.on_rto(now));
+            self.on_rto_into(now, out);
         }
         if self.persist_deadline.is_some_and(|d| d <= now) {
             self.persist_deadline = None;
-            out.extend(self.on_persist(now));
+            self.on_persist_into(now, out);
         }
         if self.delack_deadline.is_some_and(|d| d <= now) {
             out.push(self.make_ack());
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -772,11 +807,11 @@ impl Endpoint {
         self.rtt_probe = None;
     }
 
-    /// Sends everything the congestion and flow-control windows allow.
-    fn pump(&mut self, now: SimTime) -> Vec<Segment> {
-        let mut out = Vec::new();
+    /// Sends everything the congestion and flow-control windows allow,
+    /// appending to `out`.
+    fn pump_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         if self.state != State::Established {
-            return out;
+            return;
         }
 
         // RFC 5681 §4.1: collapse cwnd if the sender has been idle (nothing
@@ -851,7 +886,6 @@ impl Endpoint {
 
             break;
         }
-        out
     }
 
     /// Transmits `[snd_nxt, snd_nxt + len)` (or a FIN), classifying it as a
@@ -918,26 +952,28 @@ impl Endpoint {
         seg
     }
 
-    fn on_rto(&mut self, now: SimTime) -> Vec<Segment> {
+    fn on_rto_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         match self.state {
             State::SynSent => {
                 self.rtt.back_off();
                 self.rtt_probe = Some((0, now));
                 self.arm_rto(now);
                 self.stats.timeouts += 1;
-                return vec![self.make_segment(0, 0, true, false)];
+                out.push(self.make_segment(0, 0, true, false));
+                return;
             }
             State::SynRcvd => {
                 self.rtt.back_off();
                 self.arm_rto(now);
                 self.stats.timeouts += 1;
-                return vec![self.make_segment(0, 0, true, false)];
+                out.push(self.make_segment(0, 0, true, false));
+                return;
             }
             State::Established => {}
-            State::Closed | State::Listen => return Vec::new(),
+            State::Closed | State::Listen => return,
         }
         if self.snd_una == self.snd_nxt {
-            return Vec::new(); // spurious: everything was acked meanwhile
+            return; // spurious: everything was acked meanwhile
         }
         self.stats.timeouts += 1;
         self.rtt.back_off();
@@ -946,23 +982,21 @@ impl Endpoint {
         self.retx_pending_bytes = 0;
         self.rewind_to_una();
         self.arm_rto(now);
-        self.pump(now)
+        self.pump_into(now, out);
     }
 
-    fn on_persist(&mut self, now: SimTime) -> Vec<Segment> {
+    fn on_persist_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         // Send a one-byte probe past the closed window (or the FIN, if only
         // the FIN is pending).
-        let mut out = Vec::new();
         if self.snd_nxt < self.write_offset {
             out.push(self.send_data(now, 1, false, true));
         } else if self.fin_queued && !self.fin_sent {
             out.push(self.send_data(now, 0, true, true));
         } else {
-            return out;
+            return;
         }
         self.persist_backoff = (self.persist_backoff + 1).min(10);
         self.maybe_arm_persist_after_probe(now);
-        out
     }
 
     fn maybe_arm_persist(&mut self, now: SimTime) {
@@ -1417,7 +1451,7 @@ mod tests {
     #[test]
     fn delayed_ack_halves_ack_count() {
         let cfg = TcpConfig::default().with_recv_buffer(1 << 20);
-        let mut run = |delack: bool| {
+        let run = |delack: bool| {
             let mut c = Endpoint::new(Role::Client, 1, cfg.clone().with_delayed_ack(delack));
             let mut s = Endpoint::new(Role::Server, 1, cfg.clone());
             let t = SimTime::ZERO;

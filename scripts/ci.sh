@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The full local gate, in the order a reviewer would want failures surfaced:
+#
+#   1. release build + the whole test suite (unit, integration, doc-adjacent)
+#   2. the determinism invariant: byte-identical CSVs at --jobs 1 and
+#      --jobs max(nproc, 8), which also covers the timing-wheel event queue
+#      and per-worker scratch reuse (both are on by default)
+#   3. a quick-mode pass over every benchmark, so a change that breaks a
+#      bench harness (or makes a substrate pathologically slow) fails CI
+#      rather than the next person's perf run
+#
+# Usage: scripts/ci.sh
+# Everything runs offline; no network access is required.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --offline
+
+echo "==> tests"
+cargo test --offline --quiet
+
+echo "==> determinism: CSVs invariant under --jobs"
+scripts/check_determinism.sh
+
+echo "==> bench smoke (quick mode, no JSON ledger)"
+cargo bench --offline -p vstream-bench --bench substrates -- --quick
+
+echo "OK: build, tests, determinism, and bench smoke all passed"
