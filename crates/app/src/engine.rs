@@ -14,7 +14,8 @@
 
 use vstream_capture::{TapDirection, Trace};
 use vstream_net::{Direction, DuplexPath};
-use vstream_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use vstream_obs::{collector, Counter, Gauge, HistId, Metrics};
+use vstream_sim::{EventQueue, QueueStats, SimDuration, SimRng, SimTime};
 use vstream_tcp::{Endpoint, EndpointStats, Role, Segment, TcpConfig};
 
 /// Which endpoint of a connection pair.
@@ -73,10 +74,19 @@ struct Conn {
 /// the segment buffer cleared, and the trace handed out fresh, so results
 /// are bit-identical whether a scratch is new, reused, or absent — the
 /// determinism suite checks exactly this across `--jobs` counts.
+/// The scratch also carries the worker's [`Metrics`] registry: each session
+/// harvested by [`Engine::into_parts`] folds its telemetry in, and the batch
+/// executor flushes the accumulated registry to the `vstream-obs` collector
+/// once per worker. Metrics flow strictly out of the simulation — nothing
+/// ever reads them back — so this does not violate the capacity-only rule.
 pub struct SessionScratch {
     queue: EventQueue<Event>,
     seg_buf: Vec<Segment>,
     trace_capacity: usize,
+    metrics: Metrics,
+    /// True once a session has run on this scratch (drives the
+    /// allocation-reuse hit-rate metric).
+    used: bool,
 }
 
 impl SessionScratch {
@@ -97,12 +107,31 @@ impl SessionScratch {
             queue: EventQueue::with_capacity(4096),
             seg_buf: Vec::with_capacity(64),
             trace_capacity: capacity,
+            metrics: Metrics::new(),
+            used: false,
         }
     }
 
     /// The trace capacity the next session built from this scratch gets.
     pub fn trace_capacity(&self) -> usize {
         self.trace_capacity
+    }
+
+    /// The telemetry accumulated by sessions run on this scratch.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access for callers that harvest session-level quantities
+    /// (player stats, strategy block counts) after [`Engine::into_parts`].
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Flushes the accumulated registry to the process-wide `vstream-obs`
+    /// collector (a no-op when no ledger was requested) and resets it.
+    pub fn flush_metrics(&mut self) {
+        collector::merge(&self.metrics.take());
     }
 }
 
@@ -116,6 +145,8 @@ impl Default for SessionScratch {
             queue: EventQueue::new(),
             seg_buf: Vec::new(),
             trace_capacity: 0,
+            metrics: Metrics::new(),
+            used: false,
         }
     }
 }
@@ -156,6 +187,13 @@ pub struct Engine {
     /// Staging buffer the endpoints emit segments into; taken out of the
     /// engine around each `_into` call and drained by the transmit helpers.
     seg_buf: Vec<Segment>,
+    /// The worker's telemetry registry, borrowed from the scratch for the
+    /// session's lifetime and harvested into by [`Engine::into_parts`].
+    metrics: Metrics,
+    /// Whether the scratch this engine was built from had run a session.
+    scratch_was_used: bool,
+    /// The trace capacity this session started with, to detect regrowth.
+    initial_trace_capacity: usize,
 }
 
 impl Engine {
@@ -179,6 +217,8 @@ impl Engine {
             mut queue,
             mut seg_buf,
             trace_capacity,
+            metrics,
+            used,
         } = scratch;
         queue.reset();
         seg_buf.clear();
@@ -192,6 +232,9 @@ impl Engine {
             stopped: false,
             cross_traffic: None,
             seg_buf,
+            metrics,
+            scratch_was_used: used,
+            initial_trace_capacity: trace_capacity,
         }
     }
 
@@ -236,15 +279,82 @@ impl Engine {
     /// holding this session's allocations for the next one. The scratch's
     /// trace-capacity hint ratchets up to the largest capture seen, so a
     /// worker stops reallocating after its biggest session.
-    pub fn into_parts(self) -> (Trace, SessionScratch) {
+    ///
+    /// When a metrics ledger is active, the session's telemetry — queue,
+    /// path, endpoint, and capture counters — is harvested into the
+    /// scratch's registry here, once per session, never on the event loop.
+    pub fn into_parts(mut self) -> (Trace, SessionScratch) {
+        if collector::is_active() {
+            self.harvest_metrics();
+        }
         let scratch = SessionScratch {
             queue: self.queue,
             seg_buf: self.seg_buf,
             // The trace's final capacity is its true high-water mark
             // (doubling included), so the next session allocates once.
             trace_capacity: self.trace.capacity().max(self.trace.len()),
+            metrics: self.metrics,
+            used: true,
         };
         (self.trace, scratch)
+    }
+
+    /// Folds everything this session's components counted into the worker
+    /// registry. Pure observation: reads stats, writes metrics, mutates no
+    /// simulation state.
+    fn harvest_metrics(&mut self) {
+        let m = &mut self.metrics;
+        m.add(Counter::SimSessions, 1);
+        m.add(Counter::SimScratchUses, 1);
+        if self.scratch_was_used {
+            m.add(Counter::SimScratchReuseHits, 1);
+        }
+
+        let q: &QueueStats = self.queue.stats();
+        m.add(Counter::SimEventsScheduled, q.scheduled);
+        m.add(Counter::SimWheelRingPushes, q.ring_pushes);
+        m.add(Counter::SimWheelSpillPushes, q.spill_pushes);
+        m.add(Counter::SimWheelSpillPromotions, q.spill_promotions);
+        m.add(Counter::SimWheelAdvances, q.advances);
+        m.gauge_max(Gauge::SimQueuePeakLen, q.peak_len);
+        m.record(HistId::SimSessionEvents, q.scheduled);
+        m.merge_hist(HistId::SimWheelOccupancy, &q.occupancy);
+
+        let down = self.path.link(Direction::Down).stats();
+        let up = self.path.link(Direction::Up).stats();
+        m.add(Counter::NetQueueDrops, down.queue_drops + up.queue_drops);
+        m.add(Counter::NetRandomDrops, down.random_drops + up.random_drops);
+        m.add(Counter::NetPacketsDelivered, down.delivered + up.delivered);
+        m.add(Counter::NetBytesDelivered, down.bytes_delivered + up.bytes_delivered);
+        m.gauge_max(Gauge::NetDownBacklogHwmBytes, down.backlog_hwm_bytes);
+        m.gauge_max(Gauge::NetUpBacklogHwmBytes, up.backlog_hwm_bytes);
+
+        for conn in &self.conns {
+            m.add(Counter::TcpConnections, 1);
+            for stats in [conn.client.stats(), conn.server.stats()] {
+                m.add(Counter::TcpDataSegmentsSent, stats.data_segments_sent);
+                m.add(Counter::TcpDataBytesSent, stats.data_bytes_sent);
+                m.add(Counter::TcpRetxSegments, stats.retx_segments);
+                m.add(Counter::TcpRetxBytes, stats.retx_bytes);
+                m.add(Counter::TcpAcksSent, stats.acks_sent);
+                m.add(Counter::TcpRtoFires, stats.timeouts);
+                m.add(Counter::TcpFastRetransmits, stats.fast_retransmits);
+                m.add(Counter::TcpSackBlocksSent, stats.sack_blocks_sent);
+                m.add(Counter::TcpZeroWindowProbes, stats.probes_sent);
+                m.merge_hist(HistId::TcpCwndBytes, &stats.cwnd_hist);
+            }
+        }
+
+        m.add(Counter::CapturePackets, self.trace.len() as u64);
+        if self.trace.capacity() > self.initial_trace_capacity && self.initial_trace_capacity > 0 {
+            m.add(Counter::CaptureTraceRegrows, 1);
+        }
+    }
+
+    /// The event queue's accumulated telemetry (e.g. for per-profile spill
+    /// attribution before [`Engine::into_parts`]).
+    pub fn queue_stats(&self) -> &QueueStats {
+        self.queue.stats()
     }
 
     /// Number of connections opened so far.

@@ -11,6 +11,7 @@
 //! accumulation ratios below one, and unused bytes when the user interrupts
 //! playback.
 
+use vstream_obs::Hist;
 use vstream_sim::{SimDuration, SimTime};
 
 /// Playback state.
@@ -37,6 +38,8 @@ pub struct PlayerStats {
     pub stall_time: SimDuration,
     /// Peak buffer occupancy in bytes.
     pub peak_buffer_bytes: u64,
+    /// Durations of completed stalls, in milliseconds.
+    pub stall_hist: Hist,
 }
 
 /// A video player with a byte buffer and threshold-based start/rebuffer
@@ -136,7 +139,9 @@ impl Player {
             }
             PlayState::Stalled if threshold_met => {
                 self.state = PlayState::Playing;
-                self.stats.stall_time += now.saturating_duration_since(self.waiting_since);
+                let stalled = now.saturating_duration_since(self.waiting_since);
+                self.stats.stall_time += stalled;
+                self.stats.stall_hist.record(stalled.as_nanos() / 1_000_000);
             }
             _ => {}
         }
@@ -236,6 +241,11 @@ mod tests {
         p.feed(t(12.0), 500_000);
         assert!(p.is_playing());
         assert_eq!(p.stats().stall_time, SimDuration::from_secs(8));
+        // The completed stall is also recorded in the duration histogram:
+        // 8000 ms lands in the [2^12, 2^13) bucket.
+        assert_eq!(p.stats().stall_hist.count(), 1);
+        assert_eq!(p.stats().stall_hist.sum(), 8000);
+        assert_eq!(p.stats().stall_hist.nonzero().collect::<Vec<_>>(), vec![(13, 1)]);
     }
 
     #[test]

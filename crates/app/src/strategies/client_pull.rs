@@ -81,6 +81,8 @@ pub struct ClientPullLogic {
     phase: Phase,
     /// Total unique bytes the client has read.
     pub read_total: u64,
+    /// Steady-state blocks pulled (ON periods after buffering).
+    pub blocks: u64,
     pull_timer_armed: bool,
 }
 
@@ -97,6 +99,7 @@ impl ClientPullLogic {
             conn: 0,
             phase: Phase::Buffering,
             read_total: 0,
+            blocks: 0,
             pull_timer_armed: false,
         }
     }
@@ -133,6 +136,7 @@ impl ClientPullLogic {
     }
 
     fn pull(&mut self, eng: &mut Engine) {
+        self.blocks += 1;
         let n = eng.client_read(self.conn, self.cfg.block_bytes);
         self.read_total += n;
         self.player.feed(eng.now(), n);

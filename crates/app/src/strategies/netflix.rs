@@ -143,6 +143,9 @@ pub struct NetflixLogic {
     pub read_total: u64,
     /// Probe (non-selected-rate) bytes read — pure overhead.
     pub probe_read: u64,
+    /// Steady-state content blocks (fresh connections on PC/iPad, paced
+    /// drains on Android); probes and the buffering burst are excluded.
+    pub blocks: u64,
     pull_armed: bool,
 }
 
@@ -165,6 +168,7 @@ impl NetflixLogic {
             content_read: 0,
             read_total: 0,
             probe_read: 0,
+            blocks: 0,
             pull_armed: false,
         }
     }
@@ -206,6 +210,7 @@ impl NetflixLogic {
         }
         let chunk = self.cfg.block_bytes().min(remaining);
         self.content_offset += chunk;
+        self.blocks += 1;
         self.open_transfer(eng, ConnKind::Content, chunk);
     }
 
@@ -337,6 +342,7 @@ impl SessionLogic for NetflixLogic {
             NetflixMode::Android => {
                 let conn = self.android_conn.expect("android connection open");
                 if room >= self.cfg.block_bytes() {
+                    self.blocks += 1;
                     let n = eng.client_read(conn, self.cfg.block_bytes());
                     self.content_read += n;
                     self.read_total += n;

@@ -62,6 +62,8 @@ pub struct RangeRequestLogic {
     inflight: Option<(usize, u64)>,
     /// Total unique bytes the client has read.
     pub read_total: u64,
+    /// Range requests issued (each one an ON period on a fresh connection).
+    pub blocks: u64,
     retry_armed: bool,
     /// Ranges requested so far (drives the deep-refill schedule).
     requests_made: u32,
@@ -80,6 +82,7 @@ impl RangeRequestLogic {
             offset: 0,
             inflight: None,
             read_total: 0,
+            blocks: 0,
             retry_armed: false,
             requests_made: 0,
         }
@@ -126,6 +129,7 @@ impl RangeRequestLogic {
             let conn = eng.open_connection(client_cfg, server_tcp());
             self.inflight = Some((conn, chunk));
             self.requests_made += 1;
+            self.blocks += 1;
         } else if !self.retry_armed {
             // Wait until playback frees enough room.
             let needed = chunk - self.room();

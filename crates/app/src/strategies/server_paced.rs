@@ -51,6 +51,8 @@ pub struct ServerPacedLogic {
     sent: u64,
     /// Total unique bytes the client has read.
     pub read_total: u64,
+    /// Steady-state blocks written (ON periods after the startup burst).
+    pub blocks: u64,
 }
 
 const BLOCK_TIMER: u32 = 1;
@@ -66,6 +68,7 @@ impl ServerPacedLogic {
             conn: 0,
             sent: 0,
             read_total: 0,
+            blocks: 0,
         }
     }
 
@@ -110,6 +113,7 @@ impl SessionLogic for ServerPacedLogic {
 
     fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
         debug_assert_eq!(id, BLOCK_TIMER);
+        self.blocks += 1;
         self.write_next(eng, self.cfg.block_bytes);
     }
 

@@ -51,7 +51,8 @@ fn bench_sessions(c: &mut Criterion) {
                     .trace
                     .len(),
             )
-        })
+        });
+        scratch.flush_metrics();
     });
     g.bench_function("flash_paced_180s_capture", |b| {
         let spec = paced_spec(2);
@@ -64,7 +65,8 @@ fn bench_sessions(c: &mut Criterion) {
                     .trace
                     .len(),
             )
-        })
+        });
+        scratch.flush_metrics();
     });
     g.finish();
 }

@@ -11,7 +11,8 @@
 //! shows the min / median / max per-iteration time across samples. Passing
 //! a substring argument (`cargo bench -- fig9`) filters benchmarks by name;
 //! `--quick` (or `BENCH_QUICK=1`) caps warm-up and measurement at a second
-//! for smoke runs.
+//! for smoke runs; `--quiet` (or `BENCH_QUIET=1`) drops the live
+//! per-benchmark lines, leaving only the end-of-run summary table.
 //!
 //! ## Recorded trajectories
 //!
@@ -71,6 +72,7 @@ pub mod harness {
     pub struct Criterion {
         filter: Option<String>,
         quick: bool,
+        quiet: bool,
         json_path: Option<String>,
         label: String,
         results: Vec<BenchResult>,
@@ -80,6 +82,7 @@ pub mod harness {
         fn default() -> Self {
             let mut filter = None;
             let mut quick = std::env::var_os("BENCH_QUICK").is_some();
+            let mut quiet = std::env::var_os("BENCH_QUIET").is_some();
             let mut json_path = std::env::var("BENCH_JSON").ok();
             let mut label = std::env::var("BENCH_LABEL").unwrap_or_default();
             let mut args = std::env::args().skip(1);
@@ -88,6 +91,7 @@ pub mod harness {
                     // Flags cargo-bench forwards that carry no meaning here.
                     "--bench" | "--nocapture" => {}
                     "--quick" => quick = true,
+                    "--quiet" => quiet = true,
                     "--json" => json_path = args.next(),
                     "--label" => label = args.next().unwrap_or_default(),
                     s if s.starts_with('-') => {}
@@ -97,9 +101,16 @@ pub mod harness {
             if label.is_empty() {
                 label = "run".to_string();
             }
+            // A JSON ledger request also meters the simulation itself, so
+            // the run object can embed the telemetry totals next to the
+            // timings it explains.
+            if json_path.is_some() {
+                vstream_obs::collector::install(vstream_obs::collector::wall_from_env());
+            }
             Criterion {
                 filter,
                 quick,
+                quiet,
                 json_path,
                 label,
                 results: Vec::new(),
@@ -125,14 +136,17 @@ pub mod harness {
         }
 
         /// Appends this run's results to the JSON ledger, if one was
-        /// requested via `--json` / `BENCH_JSON`. Called by
-        /// `criterion_main!` after all groups have run.
+        /// requested via `--json` / `BENCH_JSON`, and prints the summary
+        /// table. Called by `criterion_main!` after all groups have run.
         pub fn finalize(&self) {
-            let Some(path) = &self.json_path else { return };
             if self.results.is_empty() {
+                let _ = vstream_obs::collector::take();
                 return;
             }
-            let run = self.run_json();
+            println!("\n{}", self.summary_table());
+            let metrics = vstream_obs::collector::take();
+            let Some(path) = &self.json_path else { return };
+            let run = self.run_json(metrics.as_ref());
             let merged = match std::fs::read_to_string(path) {
                 Ok(existing) => append_run(&existing, &run),
                 Err(_) => format!("[\n{run}\n]\n"),
@@ -141,7 +155,31 @@ pub mod harness {
             println!("wrote {} ({} benchmarks, label {:?})", path, self.results.len(), self.label);
         }
 
-        fn run_json(&self) -> String {
+        /// All results as one aligned table — the same formatter the repro
+        /// binary's `--metrics-summary` uses, so bench output and ledger
+        /// summaries read alike.
+        fn summary_table(&self) -> String {
+            let rows: Vec<Vec<String>> = self
+                .results
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        fmt_time(r.median_ns / 1e9),
+                        fmt_time(r.min_ns / 1e9),
+                        fmt_time(r.max_ns / 1e9),
+                        r.samples.to_string(),
+                        r.iters.to_string(),
+                    ]
+                })
+                .collect();
+            vstream_obs::table::render(
+                &["benchmark", "median", "min", "max", "samples", "iters"],
+                &rows,
+            )
+        }
+
+        fn run_json(&self, metrics: Option<&vstream_obs::Ledger>) -> String {
             let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
             let mut s = String::new();
             s.push_str("  {\n");
@@ -162,7 +200,12 @@ pub mod harness {
                     r.iters,
                 ));
             }
-            s.push_str("    ]\n  }");
+            s.push_str("    ]");
+            if let Some(ledger) = metrics {
+                let json = ledger.to_json(&vstream::obs::PROFILE_NAMES);
+                s.push_str(&format!(",\n    \"metrics\": {}", json.trim_end()));
+            }
+            s.push_str("\n  }");
             s
         }
     }
@@ -262,13 +305,17 @@ pub mod harness {
                 .collect();
             samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
             let median = samples[samples.len() / 2];
-            println!(
-                "{full:<45} time: [{} {} {}]  ({} samples x {iters} iters)",
-                fmt_time(samples[0]),
-                fmt_time(median),
-                fmt_time(*samples.last().expect("non-empty")),
-                samples.len(),
-            );
+            // `--quiet` keeps only the end-of-run summary table and ledger
+            // notice; the live per-benchmark line is progress feedback.
+            if !self.parent.quiet {
+                println!(
+                    "{full:<45} time: [{} {} {}]  ({} samples x {iters} iters)",
+                    fmt_time(samples[0]),
+                    fmt_time(median),
+                    fmt_time(*samples.last().expect("non-empty")),
+                    samples.len(),
+                );
+            }
             self.parent.results.push(BenchResult {
                 name: full,
                 min_ns: samples[0] * 1e9,

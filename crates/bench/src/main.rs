@@ -1,26 +1,37 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro all                  # everything, summaries to stdout
-//! repro table1 fig4 fig9     # a selection
-//! repro all --csv out/       # also write each figure/table as CSV
-//! repro all --seed 7 --n 20  # change the seed / per-network sample size
-//! repro all --jobs 4         # worker threads (default: all cores)
+//! repro all                       # everything, summaries to stdout
+//! repro table1 fig4 fig9          # a selection
+//! repro all --csv out/            # also write each figure/table as CSV
+//! repro all --seed 7 --n 20       # change the seed / per-network sample size
+//! repro all --jobs 4              # worker threads (default: all cores)
+//! repro all --metrics m.json      # also write the telemetry ledger
+//! repro all --metrics-summary     # print the ledger as human tables
+//! repro all --progress            # per-figure timing lines on stderr
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: session seeds derive
-//! from each session's identity, never from execution order.
+//! from each session's identity, never from execution order. The metrics
+//! ledger is deterministic too once wall-clock timing is disabled
+//! (`VSTREAM_WALL=off`), and enabling it never changes the figures —
+//! instrumentation is output-neutral by construction.
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use vstream::figures as f;
+use vstream::obs::{collector, ledger_json, ledger_summary};
 use vstream::report::{FigureData, TableData};
 
 struct Options {
     seed: u64,
     n: usize,
     csv_dir: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    metrics_summary: bool,
+    progress: bool,
 }
 
 fn main() {
@@ -29,6 +40,9 @@ fn main() {
         seed: 2026,
         n: 12,
         csv_dir: None,
+        metrics_path: None,
+        metrics_summary: false,
+        progress: false,
     };
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.first().cloned() {
@@ -41,6 +55,12 @@ fn main() {
                 let dir: String = take_value(&mut args, "--csv");
                 opts.csv_dir = Some(PathBuf::from(dir));
             }
+            "--metrics" => {
+                let path: String = take_value(&mut args, "--metrics");
+                opts.metrics_path = Some(PathBuf::from(path));
+            }
+            "--metrics-summary" => opts.metrics_summary = true,
+            "--progress" => opts.progress = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -58,8 +78,41 @@ fn main() {
     if let Some(dir) = &opts.csv_dir {
         fs::create_dir_all(dir).expect("create csv output directory");
     }
+    // `--progress` needs the span layer's session counts, so any of the
+    // three observability flags activates the collector.
+    let metered = opts.metrics_path.is_some() || opts.metrics_summary || opts.progress;
+    if metered {
+        collector::install(collector::wall_from_env());
+    }
     for id in &selected {
+        if opts.progress {
+            eprintln!("[repro] {id} ...");
+        }
+        let started = Instant::now();
+        collector::begin_span(id);
         run_one(id, &opts);
+        let span = collector::end_span();
+        if opts.progress {
+            let secs = started.elapsed().as_secs_f64();
+            let sessions = span.as_ref().map_or(0, |s| s.sessions);
+            if secs > 0.0 && sessions > 0 {
+                eprintln!(
+                    "[repro] {id} done in {secs:.2}s ({sessions} sessions, {:.1} sessions/s)",
+                    sessions as f64 / secs
+                );
+            } else {
+                eprintln!("[repro] {id} done in {secs:.2}s");
+            }
+        }
+    }
+    if let Some(ledger) = collector::take() {
+        if opts.metrics_summary {
+            println!("{}", ledger_summary(&ledger));
+        }
+        if let Some(path) = &opts.metrics_path {
+            fs::write(path, ledger_json(&ledger)).expect("write metrics ledger");
+            eprintln!("wrote metrics ledger to {}", path.display());
+        }
     }
 }
 
@@ -82,7 +135,10 @@ const ALL_IDS: [&str; 21] = [
 ];
 
 fn print_usage() {
-    println!("usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR]");
+    println!(
+        "usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR] \
+         [--metrics PATH] [--metrics-summary] [--progress]"
+    );
     println!("ids: {}", ALL_IDS.join(" "));
 }
 

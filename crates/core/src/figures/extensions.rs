@@ -92,7 +92,9 @@ pub fn ext_stall_vs_accumulation(seed: u64, n: usize) -> FigureData {
         });
         let mut logic = ServerPacedLogic::new(cfg, video);
         eng.run(&mut logic);
-        logic.player.stats().stall_time.as_secs_f64()
+        let stall_secs = logic.player.stats().stall_time.as_secs_f64();
+        crate::figures::retire_engine(eng);
+        stall_secs
     });
     let points: Vec<(f64, f64)> = RATIOS
         .iter()
@@ -221,6 +223,7 @@ fn bulk_transfer_time(seed: u64, loss: LossModel, sack: bool, congestion: CcAlgo
             .with_congestion(congestion),
     };
     eng.run(&mut logic);
+    crate::figures::retire_engine(eng);
     logic.done_at.unwrap_or(600.0)
 }
 
@@ -264,6 +267,7 @@ pub fn ext_congestion_ablation(seed: u64) -> TableData {
         let phases = SessionPhases::from_trace(eng.trace(), &cfg);
         let k = phases.accumulation_ratio(1e6).unwrap_or(f64::NAN);
         let strategy = classify(eng.trace(), &cfg);
+        crate::figures::retire_engine(eng);
         vec![
             name.to_string(),
             format!("{:.0}", median_block / 1e3),
@@ -384,6 +388,7 @@ pub fn ext_aggregate_packet_level(seed: u64, n_sessions: usize, window_secs: f64
                 .into_iter()
                 .map(|(t, bps)| (t.as_secs_f64(), bps))
                 .collect();
+            crate::figures::retire_engine(eng);
             (offset, series)
         });
 

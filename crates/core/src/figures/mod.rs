@@ -60,6 +60,16 @@ pub(crate) fn long_video(id: u64, encoding_bps: u64) -> vstream_app::Video {
     vstream_app::Video::new(id, encoding_bps, SimDuration::from_secs(3000))
 }
 
+/// Retires a directly-driven [`Engine`](vstream_app::engine::Engine),
+/// folding its telemetry into the metrics collector. Figure drivers that
+/// bypass `SessionSpec` (the ablation harnesses) call this instead of
+/// dropping the engine, so their sessions appear in the ledger too. A
+/// no-op when no ledger was requested.
+pub(crate) fn retire_engine(eng: vstream_app::engine::Engine) {
+    let (_trace, mut scratch) = eng.into_parts();
+    scratch.flush_metrics();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -154,6 +154,7 @@ pub fn fig9_idle_reset_ablation(seed: u64) -> (f64, f64) {
         };
         eng.run(&mut logic);
         let samples = first_rtt_bytes(eng.trace(), &cfg, eng.base_rtt());
+        crate::figures::retire_engine(eng);
         let kb: Vec<f64> = samples.iter().map(|&b| b as f64 / 1e3).collect();
         if kb.is_empty() {
             return 0.0;

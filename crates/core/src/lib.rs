@@ -49,6 +49,7 @@
 //! the figures in benchmarks and the `repro` binary.
 
 pub mod figures;
+pub mod obs;
 pub mod report;
 pub mod session;
 

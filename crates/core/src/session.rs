@@ -18,6 +18,7 @@ use vstream_app::strategies::InterruptAfter;
 use vstream_app::{PlayerStats, Video};
 use vstream_capture::Trace;
 use vstream_net::NetworkProfile;
+use vstream_obs::{collector, Counter, Gauge, HistId};
 use vstream_sim::{exec, SimDuration};
 use vstream_tcp::EndpointStats;
 use vstream_workload::{logic_for, Client, Container, StrategyLogic};
@@ -90,7 +91,9 @@ impl SessionSpec {
     /// clients have no Flash).
     pub fn run(&self) -> Option<CellOutcome> {
         let mut scratch = self.fresh_scratch();
-        self.run_with_scratch(&mut scratch)
+        let out = self.run_with_scratch(&mut scratch);
+        scratch.flush_metrics();
+        out
     }
 
     /// Like [`SessionSpec::run`], but reusing (and replenishing) a worker's
@@ -132,11 +135,12 @@ pub fn run_many(specs: &[SessionSpec]) -> Vec<Option<CellOutcome>> {
 /// warm-up allocations. Scratch reuse never changes results — the
 /// jobs-invariance test below and `scripts/check_determinism.sh` hold this.
 pub fn run_many_jobs(specs: &[SessionSpec], jobs: usize) -> Vec<Option<CellOutcome>> {
-    exec::par_indexed_with(
+    exec::par_indexed_with_finish(
         specs.len(),
         jobs,
         || batch_scratch(specs),
         |scratch, i| specs[i].run_with_scratch(scratch),
+        |mut scratch| scratch.flush_metrics(),
     )
 }
 
@@ -150,11 +154,12 @@ where
     T: Send,
     F: Fn(usize, CellOutcome) -> T + Sync,
 {
-    exec::par_indexed_with(
+    exec::par_indexed_with_finish(
         specs.len(),
         default_jobs(),
         || batch_scratch(specs),
         |scratch, i| specs[i].run_with_scratch(scratch).map(|out| f(i, out)),
+        |mut scratch| scratch.flush_metrics(),
     )
 }
 
@@ -255,8 +260,33 @@ fn finish(
     let connections = eng.connection_count();
     let connection_stats = (0..connections).map(|c| eng.connection_stats(c)).collect();
     let base_rtt = eng.base_rtt();
+    // Per-profile attribution must read the queue before `into_parts`
+    // consumes the engine; the engine-level harvest happens inside it.
+    let obs_active = collector::is_active();
+    let (events_scheduled, wheel_spills) = if obs_active {
+        let q = eng.queue_stats();
+        (q.scheduled, q.spill_pushes)
+    } else {
+        (0, 0)
+    };
     let (trace, recycled) = eng.into_parts();
     *scratch = recycled;
+    if obs_active {
+        let m = scratch.metrics_mut();
+        let p = m.profile_mut(profile as usize);
+        p.sessions += 1;
+        p.events_scheduled += events_scheduled;
+        p.wheel_spills += wheel_spills;
+        let stats = logic.player().stats();
+        m.add(Counter::AppPlayerStalls, stats.stalls as u64);
+        m.merge_hist(HistId::AppStallMs, &stats.stall_hist);
+        if let Some(delay) = stats.startup_delay {
+            m.add(Counter::AppPlaybackStarted, 1);
+            m.record(HistId::AppStartupDelayMs, delay.as_nanos() / 1_000_000);
+        }
+        m.gauge_max(Gauge::AppPeakBufferBytes, stats.peak_buffer_bytes);
+        m.add(Counter::AppBlocks, logic.blocks());
+    }
     CellOutcome {
         trace,
         logic,

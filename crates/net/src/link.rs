@@ -65,6 +65,9 @@ pub struct LinkStats {
     pub random_drops: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Highest backlog observed behind the transmitter when a packet was
+    /// offered, in bytes (queue-depth high-water mark).
+    pub backlog_hwm_bytes: u64,
 }
 
 /// A unidirectional transmission link.
@@ -134,7 +137,11 @@ impl Link {
         let len = packet.wire_len() as u64;
 
         // Tail drop: measure the backlog *before* admitting this packet.
-        if self.backlog_bytes(now) + len > self.config.queue_capacity_bytes {
+        let backlog = self.backlog_bytes(now);
+        if backlog > self.stats.backlog_hwm_bytes {
+            self.stats.backlog_hwm_bytes = backlog;
+        }
+        if backlog + len > self.config.queue_capacity_bytes {
             self.stats.queue_drops += 1;
             return Verdict::Dropped(DropReason::QueueOverflow);
         }
@@ -251,6 +258,23 @@ mod tests {
     fn default_queue_capacity_is_at_least_64k() {
         let cfg = LinkConfig::new(mbps(1), SimDuration::from_micros(10));
         assert!(cfg.queue_capacity_bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn backlog_high_water_mark_tracks_peak() {
+        let mut link = Link::new(
+            LinkConfig::new(mbps(8), SimDuration::ZERO).with_queue_capacity(100_000),
+        );
+        let mut rng = SimRng::new(10);
+        let t = SimTime::from_secs(1);
+        assert_eq!(link.stats().backlog_hwm_bytes, 0);
+        link.send(t, &Pkt(1000), &mut rng);
+        link.send(t, &Pkt(1000), &mut rng); // offered against a 1000-byte backlog
+        link.send(t, &Pkt(1000), &mut rng); // offered against 2000
+        assert_eq!(link.stats().backlog_hwm_bytes, 2000);
+        // The mark is a maximum: a later idle-link send does not lower it.
+        link.send(t + SimDuration::from_secs(1), &Pkt(1000), &mut rng);
+        assert_eq!(link.stats().backlog_hwm_bytes, 2000);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! # vstream-obs — deterministic observability for the `vstream` workspace
+//!
+//! Every other crate in the workspace is instrumented through this one:
+//! `sim` reports event-queue and timing-wheel behaviour, `tcp` reports
+//! retransmissions and congestion-window samples, `net` reports queue
+//! drops and backlog high-water marks, `app` reports player stalls and
+//! block pacing, and `core` stitches it all into per-figure spans. The
+//! design constraints, in order:
+//!
+//! 1. **Output neutrality.** Instrumentation is strictly passive: no
+//!    simulation decision ever reads a metric, so figures are
+//!    byte-identical with metrics enabled, disabled, or compiled out
+//!    (`RUSTFLAGS="--cfg vstream_obs_off"` turns every recording method
+//!    into an empty inline function). The neutrality test in
+//!    `crates/core/tests/metrics_neutrality.rs` holds this.
+//! 2. **Determinism.** Every recorded quantity is a pure function of the
+//!    simulated sessions, and every merge operation (sums for counters,
+//!    maxima for gauges, bucket-wise sums for histograms) is commutative
+//!    and associative — so the merged ledger is byte-identical for any
+//!    `--jobs` count and any worker completion order. The only
+//!    non-deterministic quantity is wall-clock span timing, which flows
+//!    through a single switch ([`collector::install`]'s `wall` flag /
+//!    the `VSTREAM_WALL=off` environment variable) so byte-comparing
+//!    ledgers across runs is possible.
+//! 3. **No hot-path sharing.** A [`Metrics`] registry is plain `u64`
+//!    slots owned by one worker (inside its `SessionScratch`); workers
+//!    merge into the process-wide [`collector`] once per batch, never
+//!    per event. There are no atomics and no locks on the event loop.
+//!
+//! The crate is `std`-only and dependency-free, below even `vstream-sim`
+//! in the workspace dependency order.
+
+pub mod collector;
+pub mod ledger;
+pub mod metrics;
+pub mod table;
+
+pub use ledger::{Ledger, SpanRecord, SCHEMA_VERSION};
+pub use metrics::{Counter, Gauge, Hist, HistId, Metrics, ProfileMetrics, MAX_PROFILES};

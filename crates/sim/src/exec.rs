@@ -114,10 +114,36 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    par_indexed_with_finish(n, jobs, init, f, |_scratch| {})
+}
+
+/// [`par_indexed_with`] plus a per-worker `finish` hook.
+///
+/// After a worker exhausts the index space, `finish(scratch)` consumes its
+/// scratch value. The hook exists for end-of-batch bookkeeping that must
+/// happen exactly once per scratch — e.g. flushing a worker's accumulated
+/// metrics registry to the process-wide collector. It runs on the worker's
+/// own thread (on the caller's thread for the serial path), outside any
+/// lock, and must not affect `f`'s outputs: determinism requires results to
+/// be a pure function of the index regardless of how workers' lifetimes are
+/// carved up.
+///
+/// # Panics
+/// If `f` or `finish` panics, the panic is resurfaced on the calling thread
+/// after the scope joins.
+pub fn par_indexed_with_finish<T, S, I, F, G>(n: usize, jobs: usize, init: I, f: F, finish: G) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    G: Fn(S) + Sync,
+{
     let workers = jobs.min(n).max(1);
     if workers == 1 {
         let mut scratch = init();
-        return (0..n).map(|i| f(&mut scratch, i)).collect();
+        let out: Vec<T> = (0..n).map(|i| f(&mut scratch, i)).collect();
+        finish(scratch);
+        return out;
     }
 
     let cursor = AtomicUsize::new(0);
@@ -137,6 +163,7 @@ where
                     }
                     local.push((i, f(&mut scratch, i)));
                 }
+                finish(scratch);
                 if !local.is_empty() {
                     let mut slots = slots.lock().expect("executor slots poisoned");
                     for (i, value) in local {
@@ -265,6 +292,37 @@ mod tests {
         assert_eq!(inits.load(Ordering::Relaxed), 1, "serial path shares one scratch");
         // The scratch accumulated across the whole batch.
         assert_eq!(out.last(), Some(&(10, 9)));
+    }
+
+    #[test]
+    fn finish_hook_runs_once_per_worker() {
+        for jobs in [1usize, 4] {
+            let inits = AtomicU64::new(0);
+            let finishes = AtomicU64::new(0);
+            let total = AtomicU64::new(0);
+            par_indexed_with_finish(
+                20,
+                jobs,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |s, i| {
+                    *s += i as u64;
+                },
+                |s| {
+                    finishes.fetch_add(1, Ordering::Relaxed);
+                    total.fetch_add(s, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(
+                inits.load(Ordering::Relaxed),
+                finishes.load(Ordering::Relaxed),
+                "jobs = {jobs}: every scratch must be finished exactly once"
+            );
+            // The per-worker partial sums always total the full batch.
+            assert_eq!(total.load(Ordering::Relaxed), (0..20u64).sum::<u64>(), "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -36,6 +36,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
+use vstream_obs::Hist;
+
 use crate::time::SimTime;
 
 /// log2 of the wheel bucket width in nanoseconds (2^20 ns ≈ 1.05 ms).
@@ -95,6 +97,34 @@ pub fn default_backend() -> QueueBackend {
             from_env
         }
     }
+}
+
+/// Passive telemetry accumulated by an [`EventQueue`] across its lifetime
+/// (cleared by [`EventQueue::reset`], so a recycled queue reports one
+/// session at a time).
+///
+/// All fields are simple monotone tallies kept on paths the queue already
+/// touches; the heap backend reports only `scheduled` and `peak_len`, since
+/// the ring/spill distinction does not exist there. None of these values
+/// ever feed back into scheduling decisions — the queue's pop order is
+/// independent of its stats (the output-neutrality invariant of
+/// `vstream-obs`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed (schedule + try_schedule, both backends).
+    pub scheduled: u64,
+    /// Wheel pushes into a future in-window ring bucket.
+    pub ring_pushes: u64,
+    /// Wheel pushes beyond the horizon, into the spill heap.
+    pub spill_pushes: u64,
+    /// Spill events migrated into the window on cursor advances.
+    pub spill_promotions: u64,
+    /// Cursor advances (bucket openings).
+    pub advances: u64,
+    /// Maximum number of simultaneously pending events.
+    pub peak_len: u64,
+    /// Open-bucket size observed at each cursor advance.
+    pub occupancy: Hist,
 }
 
 struct Entry<E> {
@@ -170,7 +200,7 @@ impl<E> Wheel<E> {
             + self.buckets.iter().map(Vec::capacity).sum::<usize>()
     }
 
-    fn push(&mut self, entry: Entry<E>) {
+    fn push(&mut self, entry: Entry<E>, stats: &mut QueueStats) {
         let b = bucket_of(entry.at);
         debug_assert!(b >= self.cursor, "event scheduled behind the wheel cursor");
         if b == self.cursor {
@@ -183,18 +213,20 @@ impl<E> Wheel<E> {
             self.current.insert(idx, entry);
         } else if b - self.cursor < WHEEL_BUCKETS as u64 {
             self.buckets[(b & WHEEL_MASK) as usize].push(entry);
+            stats.ring_pushes += 1;
         } else {
             self.spill.push(entry);
+            stats.spill_pushes += 1;
         }
         self.len += 1;
     }
 
-    fn pop(&mut self) -> Option<Entry<E>> {
+    fn pop(&mut self, stats: &mut QueueStats) -> Option<Entry<E>> {
         if self.len == 0 {
             return None;
         }
         if self.current.is_empty() {
-            self.advance();
+            self.advance(stats);
         }
         let entry = self.current.pop()?;
         self.len -= 1;
@@ -221,7 +253,7 @@ impl<E> Wheel<E> {
 
     /// Moves the cursor to the next non-empty bucket, migrates newly
     /// in-window spill events, and sorts the opened bucket.
-    fn advance(&mut self) {
+    fn advance(&mut self, stats: &mut QueueStats) {
         debug_assert!(self.current.is_empty() && self.len > 0);
         let mut next = None;
         for d in 1..WHEEL_BUCKETS as u64 {
@@ -244,6 +276,7 @@ impl<E> Wheel<E> {
                 break;
             }
             let entry = self.spill.pop().expect("peeked entry");
+            stats.spill_promotions += 1;
             if b == a {
                 self.current.push(entry);
             } else {
@@ -252,6 +285,8 @@ impl<E> Wheel<E> {
         }
         self.current
             .sort_unstable_by(|x, y| (y.at, y.seq).cmp(&(x.at, x.seq)));
+        stats.advances += 1;
+        stats.occupancy.record(self.current.len() as u64);
     }
 
     fn clear(&mut self) {
@@ -282,6 +317,7 @@ pub struct EventQueue<E> {
     backend: Backend<E>,
     next_seq: u64,
     now: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> EventQueue<E> {
@@ -317,7 +353,14 @@ impl<E> EventQueue<E> {
             backend,
             next_seq: 0,
             now: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// The telemetry accumulated since construction or the last
+    /// [`Self::reset`]. Reading stats never affects queue behaviour.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
     }
 
     /// The backend this queue runs on.
@@ -395,7 +438,12 @@ impl<E> EventQueue<E> {
         let entry = Entry { at, seq, event };
         match &mut self.backend {
             Backend::Heap(h) => h.push(entry),
-            Backend::Wheel(w) => w.push(entry),
+            Backend::Wheel(w) => w.push(entry, &mut self.stats),
+        }
+        self.stats.scheduled += 1;
+        let len = self.len() as u64;
+        if len > self.stats.peak_len {
+            self.stats.peak_len = len;
         }
     }
 
@@ -412,7 +460,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = match &mut self.backend {
             Backend::Heap(h) => h.pop()?,
-            Backend::Wheel(w) => w.pop()?,
+            Backend::Wheel(w) => w.pop(&mut self.stats)?,
         };
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
@@ -445,7 +493,7 @@ impl<E> EventQueue<E> {
                 if w.peek_time()? > limit {
                     return None;
                 }
-                let entry = w.pop().expect("peeked entry");
+                let entry = w.pop(&mut self.stats).expect("peeked entry");
                 debug_assert!(entry.at >= self.now);
                 self.now = entry.at;
                 Some((entry.at, entry.event))
@@ -471,6 +519,7 @@ impl<E> EventQueue<E> {
         self.clear();
         self.next_seq = 0;
         self.now = SimTime::ZERO;
+        self.stats = QueueStats::default();
     }
 }
 
@@ -686,6 +735,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stats_track_scheduling_and_wheel_traffic() {
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let horizon = SimTime::from_nanos((WHEEL_BUCKETS as u64) << WHEEL_SHIFT);
+        q.schedule(SimTime::from_nanos(1), 'a'); // open bucket
+        q.schedule(SimTime::from_millis(50), 'b'); // ring
+        q.schedule(horizon + SimDuration::from_secs(1), 'c'); // spill
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.ring_pushes, 1);
+        assert_eq!(s.spill_pushes, 1);
+        assert_eq!(s.peak_len, 3);
+        assert_eq!(s.advances, 0, "no pops yet");
+
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert!(s.advances >= 2, "ring and spill buckets were opened");
+        assert_eq!(s.spill_promotions, 1);
+        assert_eq!(s.occupancy.count(), s.advances);
+
+        q.reset();
+        assert_eq!(*q.stats(), QueueStats::default(), "reset clears stats");
+
+        // Heap backend: only the backend-agnostic fields move.
+        let mut h = EventQueue::with_backend(QueueBackend::Heap);
+        h.schedule(SimTime::from_secs(1), 'x');
+        h.schedule(SimTime::from_secs(2), 'y');
+        h.pop();
+        let s = h.stats();
+        assert_eq!(s.scheduled, 2);
+        assert_eq!(s.peak_len, 2);
+        assert_eq!(s.ring_pushes + s.spill_pushes + s.advances, 0);
     }
 
     /// The backend-equivalence sweep the wheel's correctness rests on:

@@ -15,6 +15,7 @@
 //! The receive path acknowledges every data segment, so duplicate ACKs arise
 //! naturally from out-of-order arrivals.
 
+use vstream_obs::Hist;
 use vstream_sim::{SimDuration, SimTime};
 
 use crate::cc::NewAckOutcome;
@@ -68,6 +69,10 @@ pub struct EndpointStats {
     pub timeouts: u64,
     /// Fast retransmits triggered.
     pub fast_retransmits: u64,
+    /// SACK blocks carried on outgoing ACKs.
+    pub sack_blocks_sent: u64,
+    /// Congestion-window sizes (bytes) sampled at each new ACK.
+    pub cwnd_hist: Hist,
 }
 
 impl EndpointStats {
@@ -540,6 +545,7 @@ impl Endpoint {
             }
             self.absorb_window(seg);
             let outcome = self.cc.on_new_ack(now, newly_acked, ack_no, cwnd_limited);
+            self.stats.cwnd_hist.record(self.cc.cwnd());
             match outcome {
                 NewAckOutcome::RecoveryPartial => {
                     if self.cfg.sack && !self.sacked.is_empty() {
@@ -1036,6 +1042,7 @@ impl Endpoint {
         let mut seg = self.make_segment(self.snd_nxt, 0, false, false);
         if self.cfg.sack {
             seg.sack = self.rb.sack_blocks();
+            self.stats.sack_blocks_sent += seg.sack.len() as u64;
         }
         seg
     }

@@ -146,6 +146,18 @@ impl StrategyLogic {
         }
     }
 
+    /// Steady-state blocks the strategy paced out (ON periods). Bulk
+    /// transfers have no pacing, so they report zero.
+    pub fn blocks(&self) -> u64 {
+        match self {
+            StrategyLogic::ServerPaced(l) => l.blocks,
+            StrategyLogic::ClientPull(l) => l.blocks,
+            StrategyLogic::Bulk(_) => 0,
+            StrategyLogic::Range(l) => l.blocks,
+            StrategyLogic::Netflix(l) => l.blocks,
+        }
+    }
+
     /// The video being streamed (for Netflix, at the selected rate).
     pub fn video(&self) -> Video {
         match self {

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Verifies the parallel executor's core invariant: `repro` emits
-# byte-identical CSVs for any --jobs value. Runs the full suite twice
-# (serial, then a multi-worker pool) and diffs the output trees.
+# byte-identical CSVs — and, with wall-clock timing disabled, a
+# byte-identical metrics ledger — for any --jobs value. Runs the full
+# suite twice (serial, then a multi-worker pool) and diffs the output
+# trees and ledgers.
 #
 # The second pass uses max(nproc, 8) workers: even on a single-core host
 # this exercises the threaded executor path (8 OS threads racing over the
@@ -22,14 +24,19 @@ if [ "$jobs_n" -lt 8 ]; then jobs_n=8; fi
 cargo build --release --offline --bin repro
 
 echo "==> pass 1: --jobs 1"
-target/release/repro all --jobs 1 --csv "$out/jobs1" "$@" > "$out/jobs1.txt"
+VSTREAM_WALL=off target/release/repro all --jobs 1 --csv "$out/jobs1" \
+    --metrics "$out/jobs1.metrics.json" "$@" > "$out/jobs1.txt"
 echo "==> pass 2: --jobs $jobs_n"
-target/release/repro all --jobs "$jobs_n" --csv "$out/jobsN" "$@" > "$out/jobsN.txt"
+VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --csv "$out/jobsN" \
+    --metrics "$out/jobsN.metrics.json" "$@" > "$out/jobsN.txt"
 
 diff -r "$out/jobs1" "$out/jobsN"
 # The stdout reports embed the csv paths; compare them with the paths
 # normalised away.
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
      <(sed "s|$out/jobsN|CSV|" "$out/jobsN.txt")
+# The telemetry ledger must be jobs-invariant too (wall timing is off, so
+# every remaining quantity is a pure function of the session set).
+diff "$out/jobs1.metrics.json" "$out/jobsN.metrics.json"
 
-echo "OK: output is byte-identical across --jobs 1 and --jobs $jobs_n"
+echo "OK: output and metrics ledger are byte-identical across --jobs 1 and --jobs $jobs_n"

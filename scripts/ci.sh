@@ -2,10 +2,14 @@
 # The full local gate, in the order a reviewer would want failures surfaced:
 #
 #   1. release build + the whole test suite (unit, integration, doc-adjacent)
-#   2. the determinism invariant: byte-identical CSVs at --jobs 1 and
-#      --jobs max(nproc, 8), which also covers the timing-wheel event queue
-#      and per-worker scratch reuse (both are on by default)
-#   3. a quick-mode pass over every benchmark, so a change that breaks a
+#   2. the determinism invariant: byte-identical CSVs and metrics ledger
+#      at --jobs 1 and --jobs max(nproc, 8), which also covers the
+#      timing-wheel event queue and per-worker scratch reuse (both are on
+#      by default)
+#   3. metrics neutrality: a figure slice rendered with and without
+#      --metrics must produce byte-identical CSVs, and the ledger must be
+#      well-formed JSON carrying its schema_version key
+#   4. a quick-mode pass over every benchmark, so a change that breaks a
 #      bench harness (or makes a substrate pathologically slow) fails CI
 #      rather than the next person's perf run
 #
@@ -21,10 +25,20 @@ cargo build --release --offline
 echo "==> tests"
 cargo test --offline --quiet
 
-echo "==> determinism: CSVs invariant under --jobs"
+echo "==> determinism: CSVs and metrics ledger invariant under --jobs"
 scripts/check_determinism.sh
+
+echo "==> metrics neutrality: --metrics must not change the figures"
+obs_out="$(mktemp -d)"
+trap 'rm -rf "$obs_out"' EXIT
+target/release/repro fig2 fig4 --csv "$obs_out/plain" > /dev/null
+target/release/repro fig2 fig4 --csv "$obs_out/metered" \
+    --metrics "$obs_out/metrics.json" > /dev/null
+diff -r "$obs_out/plain" "$obs_out/metered"
+python3 -m json.tool "$obs_out/metrics.json" > /dev/null
+grep -q '"schema_version"' "$obs_out/metrics.json"
 
 echo "==> bench smoke (quick mode, no JSON ledger)"
 cargo bench --offline -p vstream-bench --bench substrates -- --quick
 
-echo "OK: build, tests, determinism, and bench smoke all passed"
+echo "OK: build, tests, determinism, metrics neutrality, and bench smoke all passed"

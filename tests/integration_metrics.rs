@@ -1,0 +1,78 @@
+//! The observability layer's two hard invariants, end to end:
+//!
+//! 1. **Output neutrality** — figure output is byte-identical whether the
+//!    metrics collector is installed or not. Instrumentation may observe
+//!    the simulation; it must never steer it.
+//! 2. **Determinism** — with wall-clock timing disabled, the serialized
+//!    ledger is byte-identical at any worker count: per-worker registries
+//!    merge commutatively and associatively, so scheduling cannot leak in.
+//!
+//! The collector is process-global, so everything runs from one `#[test]`.
+
+use vstream::figures as f;
+use vstream::obs::{collector, ledger_json, Counter, HistId};
+use vstream::prelude::*;
+
+/// A small figure slice touching both steady-state strategies and the
+/// single-session traces, at a given worker count.
+fn figure_suite(jobs: usize) -> Vec<String> {
+    set_default_jobs(jobs);
+    let mut out = Vec::new();
+    collector::begin_span("fig4"); // no-op when the collector is inactive
+    let (fig4a, fig4b) = f::fig4_flash_steady_state(97, 2);
+    collector::end_span();
+    out.push(fig4a.to_csv());
+    out.push(fig4b.to_csv());
+    collector::begin_span("fig2");
+    let (fig2a, fig2b) = f::fig2_short_onoff(100);
+    collector::end_span();
+    out.push(fig2a.to_csv());
+    out.push(fig2b.to_csv());
+    out
+}
+
+#[test]
+fn metrics_are_output_neutral_and_ledgers_jobs_invariant() {
+    // Baseline: collector inactive, exactly what a run without --metrics does.
+    let baseline = figure_suite(1);
+
+    // Metered serial run (wall clock off for byte-comparable ledgers).
+    collector::install(false);
+    let metered_serial = figure_suite(1);
+    let ledger_serial = collector::take().expect("ledger from serial run");
+
+    // Metered parallel run.
+    collector::install(false);
+    let metered_parallel = figure_suite(8);
+    let ledger_parallel = collector::take().expect("ledger from parallel run");
+    set_default_jobs(0); // restore the all-cores default for other binaries
+
+    // 1. Output neutrality: metering changed nothing the figures emit.
+    assert_eq!(baseline, metered_serial, "metrics-on vs metrics-off differ");
+    assert_eq!(baseline, metered_parallel, "metered parallel output differs");
+
+    // 2. Ledger determinism across worker counts, byte for byte.
+    let json_serial = ledger_json(&ledger_serial);
+    let json_parallel = ledger_json(&ledger_parallel);
+    assert_eq!(json_serial, json_parallel, "ledger depends on --jobs");
+
+    // The ledger actually carries the quantities the issue promises.
+    let m = &ledger_serial.totals;
+    assert!(m.counter(Counter::SimSessions) > 0);
+    assert!(m.counter(Counter::SimEventsScheduled) > 0);
+    assert!(m.counter(Counter::TcpDataSegmentsSent) > 0);
+    assert!(m.counter(Counter::SimScratchUses) >= m.counter(Counter::SimScratchReuseHits));
+    assert!(
+        !m.hist(HistId::SimWheelOccupancy).is_empty(),
+        "wheel occupancy histogram empty — queue instrumentation unplugged"
+    );
+    assert_eq!(ledger_serial.spans.len(), 2);
+    assert_eq!(ledger_serial.spans[0].name, "fig4");
+    assert!(ledger_serial.spans[0].sessions > 0);
+    assert_eq!(
+        ledger_serial.spans[0].wall_ns, 0,
+        "wall timing must be zeroed when disabled"
+    );
+    assert!(json_serial.contains("\"schema_version\":"));
+    assert!(json_serial.contains("\"research\""), "per-profile slot missing");
+}
