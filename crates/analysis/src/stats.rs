@@ -45,6 +45,11 @@ impl Cdf {
 
     /// The `q`-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
     ///
+    /// The nearest rank is `⌈q·n⌉`, computed with a tolerance: `q·n` can
+    /// round just *above* the exact integer in binary floating point
+    /// (`0.1 * 30.0 == 3.0000000000000004`), and a bare `ceil` would then
+    /// return rank 4 where the method defines rank 3.
+    ///
     /// # Panics
     /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
@@ -53,8 +58,12 @@ impl Cdf {
         if q == 0.0 {
             return self.sorted[0];
         }
-        let rank = (q * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+        let n = self.sorted.len();
+        // Absolute tolerance: q·n carries at most a few ULPs of error, far
+        // below 1e-9 for any sample count that fits in memory; ranks are
+        // ≥ 1 apart, so the nudge can never skip past a legitimate rank.
+        let rank = (q * n as f64 - 1e-9).ceil().max(1.0) as usize;
+        self.sorted[rank.min(n) - 1]
     }
 
     /// The median (0.5-quantile).
@@ -197,6 +206,31 @@ mod tests {
         let xs = [1.0, 1.0, 1.0];
         let ys = [1.0, 2.0, 3.0];
         assert_eq!(pearson_correlation(&xs, &ys), 0.0);
+    }
+
+    /// Nearest-rank quantiles at the decimal fractions whose product with
+    /// the sample count rounds just above an integer in binary floating
+    /// point (`0.1 * 30.0 == 3.0000000000000004`, and friends). The rank
+    /// must be exactly `q·n` there, not `q·n + 1`.
+    #[test]
+    fn quantile_decimal_fraction_rounding_traps() {
+        for n in [10usize, 30, 100] {
+            // Samples 1.0, 2.0, …, n as f64: the rank-k sample is k.
+            let cdf = Cdf::new((1..=n).map(|i| i as f64).collect());
+            for q in [0.1, 0.3, 0.7] {
+                let exact_rank = (q * n as f64).round() as usize;
+                assert_eq!(
+                    cdf.quantile(q),
+                    exact_rank as f64,
+                    "q = {q}, n = {n}: expected rank {exact_rank}"
+                );
+            }
+        }
+        // The issue's marquee case, spelled out.
+        let cdf = Cdf::new((1..=30).map(|i| i as f64).collect());
+        assert_eq!(cdf.quantile(0.1), 3.0, "0.1-quantile of 30 samples is rank 3");
+        // Values that genuinely land between ranks still round up.
+        assert_eq!(cdf.quantile(0.11), 4.0, "⌈0.11 * 30⌉ = ⌈3.3⌉ = 4");
     }
 
     /// Quantile is monotone in q and brackets the sample range, over a

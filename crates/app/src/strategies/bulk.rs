@@ -14,6 +14,7 @@ use crate::strategies::{server_tcp, startup_threshold};
 use crate::video::Video;
 
 /// Session logic for bulk (unpaced) streaming.
+#[derive(Clone)]
 pub struct BulkLogic {
     video: Video,
     /// The playback model (public so experiments can read its statistics).

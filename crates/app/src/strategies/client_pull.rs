@@ -72,6 +72,7 @@ enum Phase {
 }
 
 /// Session logic for client-pull streaming.
+#[derive(Clone)]
 pub struct ClientPullLogic {
     cfg: ClientPullConfig,
     video: Video,

@@ -126,6 +126,7 @@ enum ConnKind {
 }
 
 /// Session logic for Netflix streaming.
+#[derive(Clone)]
 pub struct NetflixLogic {
     cfg: NetflixConfig,
     video: Video,

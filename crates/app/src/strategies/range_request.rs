@@ -51,6 +51,7 @@ impl Default for RangeRequestConfig {
 }
 
 /// Session logic for range-request streaming.
+#[derive(Clone)]
 pub struct RangeRequestLogic {
     cfg: RangeRequestConfig,
     video: Video,

@@ -41,6 +41,7 @@ impl Default for ServerPacedConfig {
 }
 
 /// Session logic for server-paced streaming.
+#[derive(Clone)]
 pub struct ServerPacedLogic {
     cfg: ServerPacedConfig,
     video: Video,

@@ -9,6 +9,7 @@
 //! repro all --metrics m.json      # also write the telemetry ledger
 //! repro all --metrics-summary     # print the ledger as human tables
 //! repro all --progress            # per-figure timing lines on stderr
+//! repro all --no-cache            # re-simulate duplicate sessions
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: session seeds derive
@@ -16,6 +17,12 @@
 //! ledger is deterministic too once wall-clock timing is disabled
 //! (`VSTREAM_WALL=off`), and enabling it never changes the figures —
 //! instrumentation is output-neutral by construction.
+//!
+//! Sessions are memoized across figures by the `vstream::cache` session
+//! cache (on by default; sessions are pure functions of their spec, so the
+//! figures are byte-identical either way — `scripts/check_determinism.sh`
+//! holds this). `--no-cache` is the escape hatch that trades the wall-clock
+//! win back for the memory the cache retains.
 
 use std::fs;
 use std::path::PathBuf;
@@ -32,6 +39,7 @@ struct Options {
     metrics_path: Option<PathBuf>,
     metrics_summary: bool,
     progress: bool,
+    no_cache: bool,
 }
 
 fn main() {
@@ -43,6 +51,7 @@ fn main() {
         metrics_path: None,
         metrics_summary: false,
         progress: false,
+        no_cache: false,
     };
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.first().cloned() {
@@ -61,6 +70,7 @@ fn main() {
             }
             "--metrics-summary" => opts.metrics_summary = true,
             "--progress" => opts.progress = true,
+            "--no-cache" => opts.no_cache = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -83,6 +93,9 @@ fn main() {
     let metered = opts.metrics_path.is_some() || opts.metrics_summary || opts.progress;
     if metered {
         collector::install(collector::wall_from_env());
+    }
+    if !opts.no_cache {
+        vstream::cache::install();
     }
     for id in &selected {
         if opts.progress {
@@ -137,7 +150,7 @@ const ALL_IDS: [&str; 21] = [
 fn print_usage() {
     println!(
         "usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR] \
-         [--metrics PATH] [--metrics-summary] [--progress]"
+         [--metrics PATH] [--metrics-summary] [--progress] [--no-cache]"
     );
     println!("ids: {}", ALL_IDS.join(" "));
 }

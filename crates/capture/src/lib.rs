@@ -10,9 +10,15 @@
 //! ([`pcap::write_pcap`]) with synthesized IPv4/TCP headers, so any external
 //! tool (Wireshark, tshark, tcptrace) can inspect simulated sessions.
 
+//! For long-term retention (the cross-figure session cache) a trace can be
+//! delta-compressed into a [`PackedTrace`] at ~20× and reconstructed
+//! exactly.
+
+pub mod pack;
 pub mod pcap;
 pub mod record;
 pub mod trace;
 
+pub use pack::PackedTrace;
 pub use record::{PacketRecord, TapDirection};
 pub use trace::Trace;

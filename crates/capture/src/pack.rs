@@ -1,0 +1,504 @@
+//! Compact, lossless packed form of a [`Trace`].
+//!
+//! A raw [`PacketRecord`] is ~120 bytes, dominated by a [`SackBlocks`] that
+//! is empty on almost every packet. A retained capture (see the session
+//! cache in the `vstream` crate) would hold gigabytes in that form — and on
+//! the machines this runs on, *cold* memory is the expensive resource: every
+//! freshly faulted page costs far more than the arithmetic that fills it.
+//! `PackedTrace` stores the same information in a few bytes per record by
+//! exploiting what captures look like:
+//!
+//! * timestamps are monotone — delta-encode against the previous record;
+//! * `seq` advances by exactly the previous payload on the same
+//!   (connection, direction) stream — predict it and encode only misses
+//!   (retransmissions, reordering);
+//! * `ack_no`, `window`, and the SACK high-water mark change slowly —
+//!   delta-encode against per-stream predictors;
+//! * `payload` is almost always 0 (an ACK) or the MSS (a full data
+//!   segment) — a two-bit class covers both;
+//! * flags are almost always plain ACKs and SACK blocks are rare — a tag
+//!   bit gates an optional extras byte.
+//!
+//! Typical captures pack to 4–6 bytes per record (~20×). Round-tripping is
+//! exact: `unpack(pack(t)) == t` field for field, which the session cache
+//! relies on for byte-identical figure output.
+//!
+//! All integers are LEB128 varints; signed deltas are zigzag-mapped first.
+//! Deltas use wrapping arithmetic, so the encoding is total — any `u64`
+//! pair round-trips, the predictors only decide how many bytes it costs.
+
+use vstream_sim::SimTime;
+use vstream_tcp::segment::SackBlocks;
+use vstream_tcp::Segment;
+
+use crate::record::TapDirection;
+use crate::trace::Trace;
+
+/// Tag bit: direction is [`TapDirection::Outgoing`].
+const TAG_OUTGOING: u8 = 1 << 0;
+/// Tag bit: connection id differs from the previous record's (varint
+/// follows).
+const TAG_CONN: u8 = 1 << 1;
+/// Tag bits 2–3: payload class.
+const TAG_PAYLOAD_SHIFT: u8 = 2;
+const PAYLOAD_ZERO: u8 = 0;
+const PAYLOAD_PREDICTED: u8 = 1;
+const PAYLOAD_EXPLICIT: u8 = 2;
+/// Tag bit: `seq` missed the predictor (zigzag delta follows).
+const TAG_SEQ: u8 = 1 << 4;
+/// Tag bit: `ack_no` missed the predictor (zigzag delta follows).
+const TAG_ACK: u8 = 1 << 5;
+/// Tag bit: `window` missed the predictor (zigzag delta follows).
+const TAG_WINDOW: u8 = 1 << 6;
+/// Tag bit: an extras byte follows (unusual flags, SACK blocks, or a SACK
+/// high-water move).
+const TAG_EXTRAS: u8 = 1 << 7;
+
+/// Extras bits 0–3: the raw flags.
+const EX_SYN: u8 = 1 << 0;
+const EX_FIN: u8 = 1 << 1;
+const EX_ACK: u8 = 1 << 2;
+const EX_RETX: u8 = 1 << 3;
+/// Extras bits 4–5: number of SACK blocks (0–3), each encoded as
+/// `zigzag(start - ack_no), varint(end - start)`.
+const EX_SACK_SHIFT: u8 = 4;
+/// Extras bit 6: the SACK high-water mark missed its predictor (zigzag
+/// delta follows, after the blocks).
+const EX_HIGHEST: u8 = 1 << 6;
+
+/// Per-(connection, direction) predictor state. Encoder and decoder step
+/// identical copies of this, so a predictor hit costs zero bytes.
+#[derive(Clone, Copy, Default)]
+struct StreamState {
+    /// Next expected `seq`: the previous record's `seq_end()`.
+    seq: u64,
+    /// Previous `ack_no`.
+    ack: u64,
+    /// Previous `window`.
+    window: u64,
+    /// Previous non-zero `payload` (a stream's MSS in steady state).
+    payload: u32,
+    /// Previous SACK high-water mark.
+    highest: u64,
+}
+
+impl StreamState {
+    /// Advances the predictors past a just-coded record.
+    fn advance(&mut self, seg: &Segment) {
+        self.seq = seg.seq_end();
+        self.ack = seg.ack_no;
+        self.window = seg.window;
+        if seg.payload > 0 {
+            self.payload = seg.payload;
+        }
+        self.highest = seg.sack.highest_end();
+    }
+}
+
+/// Predictor states for both directions of every connection seen so far.
+/// Connection ids are assigned densely by the session layer, so a flat
+/// `Vec` indexed by id beats a map.
+#[derive(Default)]
+struct Predictors {
+    streams: Vec<[StreamState; 2]>,
+}
+
+impl Predictors {
+    fn get(&mut self, conn: u32, dir: TapDirection) -> &mut StreamState {
+        let conn = conn as usize;
+        if conn >= self.streams.len() {
+            self.streams.resize(conn + 1, [StreamState::default(); 2]);
+        }
+        &mut self.streams[conn][(dir == TapDirection::Outgoing) as usize]
+    }
+}
+
+/// A losslessly packed [`Trace`].
+#[derive(Clone, Debug, Default)]
+pub struct PackedTrace {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl PackedTrace {
+    /// Packs `trace`. The input is unchanged; [`PackedTrace::unpack`]
+    /// reproduces it exactly.
+    pub fn pack(trace: &Trace) -> PackedTrace {
+        // ~6 bytes/record covers typical captures without regrowing.
+        let mut bytes = Vec::with_capacity(trace.len() * 6 + 16);
+        let mut preds = Predictors::default();
+        let mut last_at = 0u64;
+        let mut last_conn = 0u32;
+        for r in trace.records() {
+            let s = preds.get(r.seg.conn, r.dir);
+            let seg = &r.seg;
+
+            let mut tag = 0u8;
+            if r.dir == TapDirection::Outgoing {
+                tag |= TAG_OUTGOING;
+            }
+            if seg.conn != last_conn {
+                tag |= TAG_CONN;
+            }
+            let payload_class = if seg.payload == 0 {
+                PAYLOAD_ZERO
+            } else if seg.payload == s.payload {
+                PAYLOAD_PREDICTED
+            } else {
+                PAYLOAD_EXPLICIT
+            };
+            tag |= payload_class << TAG_PAYLOAD_SHIFT;
+            if seg.seq != s.seq {
+                tag |= TAG_SEQ;
+            }
+            if seg.ack_no != s.ack {
+                tag |= TAG_ACK;
+            }
+            if seg.window != s.window {
+                tag |= TAG_WINDOW;
+            }
+            let plain_flags = seg.ack && !seg.syn && !seg.fin && !seg.retx;
+            let extras = !plain_flags
+                || !seg.sack.is_empty()
+                || seg.sack.highest_end() != s.highest;
+            if extras {
+                tag |= TAG_EXTRAS;
+            }
+
+            bytes.push(tag);
+            put_varint(&mut bytes, r.at.as_nanos().wrapping_sub(last_at));
+            if tag & TAG_CONN != 0 {
+                put_varint(&mut bytes, seg.conn as u64);
+            }
+            if payload_class == PAYLOAD_EXPLICIT {
+                put_varint(&mut bytes, seg.payload as u64);
+            }
+            if tag & TAG_SEQ != 0 {
+                put_zigzag(&mut bytes, seg.seq.wrapping_sub(s.seq));
+            }
+            if tag & TAG_ACK != 0 {
+                put_zigzag(&mut bytes, seg.ack_no.wrapping_sub(s.ack));
+            }
+            if tag & TAG_WINDOW != 0 {
+                put_zigzag(&mut bytes, seg.window.wrapping_sub(s.window));
+            }
+            if extras {
+                let mut ex = 0u8;
+                if seg.syn {
+                    ex |= EX_SYN;
+                }
+                if seg.fin {
+                    ex |= EX_FIN;
+                }
+                if seg.ack {
+                    ex |= EX_ACK;
+                }
+                if seg.retx {
+                    ex |= EX_RETX;
+                }
+                ex |= (seg.sack.len() as u8) << EX_SACK_SHIFT;
+                let highest_moved = seg.sack.highest_end() != s.highest;
+                if highest_moved {
+                    ex |= EX_HIGHEST;
+                }
+                bytes.push(ex);
+                for (start, end) in seg.sack.iter() {
+                    put_zigzag(&mut bytes, start.wrapping_sub(seg.ack_no));
+                    put_varint(&mut bytes, end - start);
+                }
+                if highest_moved {
+                    put_zigzag(&mut bytes, seg.sack.highest_end().wrapping_sub(s.highest));
+                }
+            }
+
+            s.advance(seg);
+            last_at = r.at.as_nanos();
+            last_conn = seg.conn;
+        }
+        bytes.shrink_to_fit();
+        PackedTrace {
+            bytes,
+            len: trace.len(),
+        }
+    }
+
+    /// Reconstructs the original trace, exactly.
+    pub fn unpack(&self) -> Trace {
+        let mut trace = Trace::with_capacity(self.len);
+        let mut preds = Predictors::default();
+        let mut last_at = 0u64;
+        let mut last_conn = 0u32;
+        let mut pos = 0usize;
+        for _ in 0..self.len {
+            let tag = self.bytes[pos];
+            pos += 1;
+            let at = last_at.wrapping_add(get_varint(&self.bytes, &mut pos));
+            let dir = if tag & TAG_OUTGOING != 0 {
+                TapDirection::Outgoing
+            } else {
+                TapDirection::Incoming
+            };
+            let conn = if tag & TAG_CONN != 0 {
+                get_varint(&self.bytes, &mut pos) as u32
+            } else {
+                last_conn
+            };
+            let s = *preds.get(conn, dir);
+            let payload = match (tag >> TAG_PAYLOAD_SHIFT) & 0x3 {
+                PAYLOAD_ZERO => 0,
+                PAYLOAD_PREDICTED => s.payload,
+                _ => get_varint(&self.bytes, &mut pos) as u32,
+            };
+            let seq = if tag & TAG_SEQ != 0 {
+                s.seq.wrapping_add(get_zigzag(&self.bytes, &mut pos))
+            } else {
+                s.seq
+            };
+            let ack_no = if tag & TAG_ACK != 0 {
+                s.ack.wrapping_add(get_zigzag(&self.bytes, &mut pos))
+            } else {
+                s.ack
+            };
+            let window = if tag & TAG_WINDOW != 0 {
+                s.window.wrapping_add(get_zigzag(&self.bytes, &mut pos))
+            } else {
+                s.window
+            };
+            let (mut syn, mut fin, mut ack, mut retx) = (false, false, true, false);
+            let mut sack = SackBlocks::EMPTY;
+            let mut highest = s.highest;
+            if tag & TAG_EXTRAS != 0 {
+                let ex = self.bytes[pos];
+                pos += 1;
+                syn = ex & EX_SYN != 0;
+                fin = ex & EX_FIN != 0;
+                ack = ex & EX_ACK != 0;
+                retx = ex & EX_RETX != 0;
+                for _ in 0..(ex >> EX_SACK_SHIFT) & 0x3 {
+                    let start = ack_no.wrapping_add(get_zigzag(&self.bytes, &mut pos));
+                    let span = get_varint(&self.bytes, &mut pos);
+                    sack.push(start, start + span);
+                }
+                if ex & EX_HIGHEST != 0 {
+                    highest = s.highest.wrapping_add(get_zigzag(&self.bytes, &mut pos));
+                }
+            }
+            sack.set_highest_end(highest);
+            let seg = Segment {
+                conn,
+                seq,
+                ack_no,
+                window,
+                payload,
+                syn,
+                fin,
+                ack,
+                retx,
+                sack,
+            };
+            preds.get(conn, dir).advance(&seg);
+            last_at = at;
+            last_conn = conn;
+            trace.push(SimTime::from_nanos(at), dir, seg);
+        }
+        debug_assert_eq!(pos, self.bytes.len(), "packed trace fully consumed");
+        trace
+    }
+
+    /// Number of packed records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no records are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes held by the packed representation.
+    pub fn packed_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b < 0x80 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a wrapping `u64` delta so small moves in either direction
+/// stay small, then varint-encodes it.
+fn put_zigzag(out: &mut Vec<u8>, delta: u64) {
+    let d = delta as i64;
+    put_varint(out, ((d << 1) ^ (d >> 63)) as u64);
+}
+
+fn get_zigzag(bytes: &[u8], pos: &mut usize) -> u64 {
+    let z = get_varint(bytes, pos);
+    ((z >> 1) as i64 ^ -((z & 1) as i64)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        at_ms: u64,
+        dir: TapDirection,
+        conn: u32,
+        seq: u64,
+        ack_no: u64,
+        window: u64,
+        payload: u32,
+    ) -> (SimTime, TapDirection, Segment) {
+        (
+            SimTime::from_millis(at_ms),
+            dir,
+            Segment {
+                conn,
+                seq,
+                ack_no,
+                window,
+                payload,
+                syn: false,
+                fin: false,
+                ack: true,
+                retx: false,
+                sack: SackBlocks::EMPTY,
+            },
+        )
+    }
+
+    fn roundtrip(trace: &Trace) -> Trace {
+        let packed = PackedTrace::pack(trace);
+        assert_eq!(packed.len(), trace.len());
+        let back = packed.unpack();
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(back.connections(), trace.connections());
+        back
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let p = PackedTrace::pack(&t);
+        assert!(p.is_empty());
+        assert_eq!(p.packed_bytes(), 0);
+        assert!(p.unpack().is_empty());
+    }
+
+    #[test]
+    fn steady_stream_packs_small_and_roundtrips() {
+        // A steady data stream with interleaved ACKs — the dominant capture
+        // shape. Data: seq advances by the MSS; ACKs: ack_no follows.
+        let mut t = Trace::new();
+        let mss = 1448u32;
+        for i in 0..1000u64 {
+            let (at, dir, mut seg) = rec(
+                10 + i * 2,
+                TapDirection::Incoming,
+                0,
+                i * mss as u64,
+                1,
+                262_144,
+                mss,
+            );
+            seg.window = 262_144;
+            t.push(at, dir, seg);
+            let (at, dir, seg) = rec(
+                11 + i * 2,
+                TapDirection::Outgoing,
+                0,
+                1,
+                (i + 1) * mss as u64,
+                1_000_000 - i * 100,
+                0,
+            );
+            t.push(at, dir, seg);
+        }
+        let p = PackedTrace::pack(&t);
+        roundtrip(&t);
+        // Predictors absorb the regular structure: well under 10 bytes per
+        // record against ~120 raw.
+        assert!(
+            p.packed_bytes() < t.len() * 10,
+            "{} bytes for {} records",
+            p.packed_bytes(),
+            t.len()
+        );
+    }
+
+    #[test]
+    fn oddball_records_roundtrip_exactly() {
+        // SYN/FIN handshakes, retransmissions, SACK blocks, high-water
+        // moves, multi-connection interleaving, u64-range windows, and
+        // non-MSS payloads: every escape path of the encoding.
+        let mut t = Trace::new();
+        let mut syn = rec(1, TapDirection::Outgoing, 0, 0, 0, 65_535, 0).2;
+        syn.syn = true;
+        syn.ack = false;
+        t.push(SimTime::from_millis(1), TapDirection::Outgoing, syn);
+
+        let mut synack = rec(2, TapDirection::Incoming, 0, 0, 1, 1 << 40, 0).2;
+        synack.syn = true;
+        t.push(SimTime::from_millis(2), TapDirection::Incoming, synack);
+
+        for i in 0..5u64 {
+            let (at, dir, seg) =
+                rec(3 + i, TapDirection::Incoming, (i % 3) as u32, i * 999, i, 7777 + i, 999);
+            t.push(at, dir, seg);
+        }
+
+        let mut retx = rec(20, TapDirection::Incoming, 1, 0, 1, 8000, 1448).2;
+        retx.retx = true;
+        t.push(SimTime::from_millis(20), TapDirection::Incoming, retx);
+
+        let mut sacked = rec(21, TapDirection::Outgoing, 1, 5, 1000, 9000, 0).2;
+        sacked.sack.push(2000, 3448);
+        sacked.sack.push(5000, 6448);
+        sacked.sack.push(9000, 10_448);
+        sacked.sack.set_highest_end(10_448);
+        t.push(SimTime::from_millis(21), TapDirection::Outgoing, sacked);
+
+        // High-water persists on a later plain ACK (predictor hit), then
+        // resets to zero (predictor miss with a negative delta).
+        let mut still = rec(22, TapDirection::Outgoing, 1, 5, 3448, 9000, 0).2;
+        still.sack.set_highest_end(10_448);
+        t.push(SimTime::from_millis(22), TapDirection::Outgoing, still);
+        let (at, dir, seg) = rec(23, TapDirection::Outgoing, 1, 5, 12_000, 9000, 0);
+        t.push(at, dir, seg);
+
+        let mut fin = rec(30, TapDirection::Incoming, 2, u64::MAX - 5, 1, 0, 0).2;
+        fin.fin = true;
+        t.push(SimTime::from_millis(30), TapDirection::Incoming, fin);
+
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn same_timestamp_and_zero_time_records_roundtrip() {
+        let mut t = Trace::new();
+        for i in 0..3u64 {
+            let (at, dir, seg) = rec(0, TapDirection::Incoming, 0, i * 100, 0, 500, 100);
+            t.push(at, dir, seg);
+        }
+        roundtrip(&t);
+    }
+}

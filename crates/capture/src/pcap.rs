@@ -36,13 +36,30 @@ const CLIENT_PORT_BASE: u16 = 49152;
 /// the 16-bit header field.
 pub const WINDOW_SCALE: u8 = 7;
 
+/// Largest payload a single record can carry and still fit the IPv4
+/// total-length field: `65535 - 40` header bytes.
+pub const MAX_PCAP_PAYLOAD: u32 = (u16::MAX as u32) - (IP_HEADER_LEN + TCP_HEADER_LEN) as u32;
+
 /// Writes `trace` to `w` in libpcap format.
 ///
 /// # Errors
-/// Propagates any I/O error from the underlying writer.
+/// Propagates any I/O error from the underlying writer. Returns
+/// [`io::ErrorKind::InvalidInput`] if a record's headers + payload exceed
+/// 65535 bytes — the IPv4 total-length field is 16 bits, and truncating it
+/// would emit a header Wireshark/tshark misparse. (The simulator segments
+/// at MSS granularity, so this only fires on hand-built traces.)
 pub fn write_pcap<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     write_global_header(&mut w)?;
     for r in trace.records() {
+        if r.seg.payload > MAX_PCAP_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "segment payload {} exceeds the {} bytes an IPv4 total-length field can describe",
+                    r.seg.payload, MAX_PCAP_PAYLOAD
+                ),
+            ));
+        }
         let (src_ip, dst_ip, src_port, dst_port) = match r.dir {
             TapDirection::Incoming => (
                 SERVER_IP,
@@ -252,6 +269,39 @@ mod tests {
             sum = (sum & 0xffff) + (sum >> 16);
         }
         assert_eq!(sum, 0xffff);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_the_boundary() {
+        let packet = |payload: u32| {
+            let mut t = Trace::new();
+            t.push(
+                SimTime::from_millis(1),
+                TapDirection::Incoming,
+                Segment {
+                    conn: 0,
+                    seq: 0,
+                    ack_no: 0,
+                    window: 64 * 1024,
+                    payload,
+                    syn: false,
+                    fin: false,
+                    ack: true,
+                    retx: false,
+                    sack: SackBlocks::EMPTY,
+                },
+            );
+            t
+        };
+        // 65495 + 40 header bytes == 65535: exactly representable.
+        let mut buf = Vec::new();
+        write_pcap(&packet(MAX_PCAP_PAYLOAD), &mut buf).unwrap();
+        let ip = &buf[24 + 16..];
+        assert_eq!(u16::from_be_bytes([ip[2], ip[3]]), u16::MAX);
+
+        // One byte more must be an InvalidInput error, not a wrapped header.
+        let err = write_pcap(&packet(MAX_PCAP_PAYLOAD + 1), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

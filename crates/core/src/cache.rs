@@ -1,0 +1,276 @@
+//! The cross-figure session cache.
+//!
+//! Every figure and table in the reproduction is computed from sessions
+//! drawn out of the same (client, container, video, profile) cell pool, and
+//! a session is a *pure function* of its [`SessionSpec`] — two equal specs
+//! produce bit-identical outcomes. The cache exploits exactly that purity:
+//! it is a content-addressed, per-run store keyed on the full spec
+//! identity, so the first figure driver to request a cell runs the engine
+//! and every later driver gets the completed
+//! [`CellOutcome`](crate::session::CellOutcome) back without re-simulating.
+//!
+//! Lifecycle: the cache is **invalidation-free**. A spec can never go
+//! stale — its key *is* the complete input of the computation — so there is
+//! no eviction, no TTL, and no dirty tracking; [`install`] starts an empty
+//! store and [`uninstall`] drops it, bracketing one `repro` run.
+//!
+//! Retention is **selective and compressed**. Only specs marked
+//! [`shared`](SessionSpec::shared) — the cross-figure cell stream of
+//! `figures::cell_specs` — enter the store; one-off sessions (Table 1's
+//! bespoke videos, the ablation harnesses) would retain memory that no
+//! later driver ever reads. And a retained trace is stored as a
+//! delta-compressed [`PackedTrace`] (~20× smaller than raw records), not as
+//! live `Vec<PacketRecord>` pages: freshly faulted memory is far more
+//! expensive than the arithmetic that rebuilds a trace from deltas, so
+//! packing is what turns the cache from a memory-bound loss into a
+//! wall-clock win. The `cache_bytes_retained` counter reports the packed
+//! footprint.
+//!
+//! Alongside each outcome the store keeps the session's exact metrics
+//! delta (see `SessionSpec::obtain` in `session.rs`), so a cache hit can
+//! replay the skipped engine run into the observability ledger and a
+//! metered run produces the same totals with the cache on or off.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use vstream_capture::PackedTrace;
+use vstream_obs::Metrics;
+use vstream_sim::SimDuration;
+use vstream_tcp::EndpointStats;
+use vstream_workload::StrategyLogic;
+
+use crate::session::{CellOutcome, SessionSpec};
+
+/// The content address of a session: every field of [`SessionSpec`] that
+/// feeds the simulation, flattened to integers. Equal keys ⇒ bit-identical
+/// outcomes. (The `shared` retention flag is deliberately *not* part of the
+/// key — it changes where the result lives, never what it is.)
+pub type SessionKey = [u64; 10];
+
+/// A completed session in retained form: the packed trace plus the small
+/// outcome fields kept raw.
+pub struct PackedCell {
+    trace: PackedTrace,
+    logic: StrategyLogic,
+    connections: usize,
+    connection_stats: Vec<(EndpointStats, EndpointStats)>,
+    base_rtt: SimDuration,
+}
+
+impl PackedCell {
+    /// Reconstructs the outcome exactly as the engine produced it. The
+    /// returned value is freshly allocated and owned by the caller — cache
+    /// hits decode into transient memory that dies with the requesting
+    /// driver, keeping the store's resident set at the packed size.
+    fn unpack(&self) -> CellOutcome {
+        CellOutcome {
+            trace: self.trace.unpack(),
+            logic: self.logic.clone(),
+            connections: self.connections,
+            connection_stats: self.connection_stats.clone(),
+            base_rtt: self.base_rtt,
+        }
+    }
+}
+
+/// One completed session retained by the cache.
+pub struct CachedCell {
+    /// The packed result (`None` for inapplicable Table 1 cells).
+    packed: Option<PackedCell>,
+    /// The metrics the session recorded while it ran, replayed into the
+    /// requesting worker's registry on every hit.
+    pub metrics: Metrics,
+    /// Approximate bytes this cell retains (packed trace dominates).
+    pub bytes: u64,
+}
+
+impl CachedCell {
+    /// Decodes the retained session back into a fresh [`CellOutcome`].
+    pub fn unpack_outcome(&self) -> Option<CellOutcome> {
+        self.packed.as_ref().map(PackedCell::unpack)
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn store() -> &'static Mutex<HashMap<SessionKey, Arc<CachedCell>>> {
+    static STORE: OnceLock<Mutex<HashMap<SessionKey, Arc<CachedCell>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Activates the cache with an empty store. Call once at the start of a
+/// run; sessions executed while active are retained until [`uninstall`].
+pub fn install() {
+    store().lock().expect("session cache poisoned").clear();
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Deactivates the cache and drops everything it retained.
+pub fn uninstall() {
+    ACTIVE.store(false, Ordering::Release);
+    store().lock().expect("session cache poisoned").clear();
+}
+
+/// True while the cache is installed. A single relaxed-ish atomic load —
+/// the only cost the cache adds to an uncached run.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Number of distinct specs currently retained.
+pub fn len() -> usize {
+    store().lock().expect("session cache poisoned").len()
+}
+
+/// Total packed bytes currently retained.
+pub fn bytes_retained() -> u64 {
+    store()
+        .lock()
+        .expect("session cache poisoned")
+        .values()
+        .map(|c| c.bytes)
+        .sum()
+}
+
+/// The content address of `spec`.
+pub fn key_of(spec: &SessionSpec) -> SessionKey {
+    let (watch_present, watch_ns) = match spec.watch_time {
+        Some(w) => (1, w.as_nanos()),
+        None => (0, 0),
+    };
+    [
+        spec.client as u64,
+        spec.container as u64,
+        spec.profile as u64,
+        spec.video.id,
+        spec.video.encoding_bps,
+        spec.video.duration.as_nanos(),
+        spec.seed,
+        spec.capture.as_nanos(),
+        watch_present,
+        watch_ns,
+    ]
+}
+
+/// The cell stored under `key`, if any.
+pub(crate) fn lookup(key: &SessionKey) -> Option<Arc<CachedCell>> {
+    store().lock().expect("session cache poisoned").get(key).cloned()
+}
+
+/// Packs and stores a completed session under `key`; the outcome itself is
+/// left with the caller. Returns the retained cell and whether this call
+/// inserted it — on a concurrent double-miss the first insert wins (both
+/// computed bit-identical outcomes, so which copy is retained cannot
+/// matter) and only the winner accounts its bytes.
+pub(crate) fn insert(
+    key: SessionKey,
+    outcome: &Option<CellOutcome>,
+    metrics: Metrics,
+) -> (Arc<CachedCell>, bool) {
+    let packed = outcome.as_ref().map(|o| PackedCell {
+        trace: PackedTrace::pack(&o.trace),
+        logic: o.logic.clone(),
+        connections: o.connections,
+        connection_stats: o.connection_stats.clone(),
+        base_rtt: o.base_rtt,
+    });
+    let bytes = approx_bytes(&packed);
+    let cell = Arc::new(CachedCell {
+        packed,
+        metrics,
+        bytes,
+    });
+    let mut map = store().lock().expect("session cache poisoned");
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(cell.clone());
+            (cell, true)
+        }
+    }
+}
+
+fn approx_bytes(packed: &Option<PackedCell>) -> u64 {
+    let fixed = std::mem::size_of::<CachedCell>() as u64;
+    match packed {
+        None => fixed,
+        Some(p) => {
+            fixed
+                + p.trace.packed_bytes() as u64
+                + (p.connection_stats.len()
+                    * std::mem::size_of::<(EndpointStats, EndpointStats)>()) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_app::Video;
+    use vstream_net::NetworkProfile;
+    use vstream_sim::SimDuration;
+    use vstream_workload::{Client, Container};
+
+    fn spec(seed: u64) -> SessionSpec {
+        SessionSpec::new(
+            Client::Firefox,
+            Container::Flash,
+            Video::new(1, 1_000_000, SimDuration::from_secs(600)),
+            NetworkProfile::Research,
+            seed,
+            SimDuration::from_secs(30),
+        )
+    }
+
+    #[test]
+    fn key_covers_every_spec_field() {
+        let base = spec(7);
+        assert_eq!(key_of(&base), key_of(&base.clone()));
+        // Each field perturbation must move the key.
+        let variants = [
+            SessionSpec {
+                client: Client::Chrome,
+                ..base
+            },
+            SessionSpec {
+                container: Container::Html5,
+                ..base
+            },
+            SessionSpec {
+                video: Video::new(2, 1_000_000, SimDuration::from_secs(600)),
+                ..base
+            },
+            SessionSpec {
+                video: Video::new(1, 2_000_000, SimDuration::from_secs(600)),
+                ..base
+            },
+            SessionSpec {
+                video: Video::new(1, 1_000_000, SimDuration::from_secs(601)),
+                ..base
+            },
+            SessionSpec {
+                profile: NetworkProfile::Home,
+                ..base
+            },
+            SessionSpec { seed: 8, ..base },
+            SessionSpec {
+                capture: SimDuration::from_secs(31),
+                ..base
+            },
+            base.interrupted(SimDuration::from_secs(5)),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(key_of(v), key_of(&base), "variant {i} collided");
+        }
+        // A zero-length watch time is still distinct from no watch time.
+        assert_ne!(
+            key_of(&base.interrupted(SimDuration::from_nanos(0))),
+            key_of(&base)
+        );
+        // Retention is not identity: a shared spec keys the same as its
+        // unshared twin.
+        assert_eq!(key_of(&base.shared()), key_of(&base));
+    }
+}

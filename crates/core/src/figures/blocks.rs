@@ -3,23 +3,19 @@
 
 use vstream_analysis::{AnalysisConfig, Cdf, OnOffAnalysis, SessionPhases};
 use vstream_net::NetworkProfile;
-use vstream_sim::derive_seed;
 use vstream_workload::{Client, Container, Dataset};
 
-use crate::figures::CAPTURE;
+use crate::figures::cell_specs;
 use crate::report::{FigureData, Series};
 use crate::session::{map_many, SessionSpec};
-
-/// Stream tag separating block-figure engine seeds from every other
-/// `derive_seed` use of the same root seed.
-const STREAM_BLOCKS: u64 = 0x51E;
 
 /// Block sizes and accumulation ratios pooled over `n` sessions of one cell
 /// on one profile.
 ///
 /// Each session's engine seed is derived from its identity
-/// `(client, container, profile, index)`, not drawn from a shared RNG, so
-/// the sessions are order-independent and run as a parallel batch.
+/// `(client, container, profile, index)` via [`cell_specs`], not drawn from
+/// a shared RNG, so the sessions are order-independent, run as a parallel
+/// batch, and coincide with other figures sampling the same cell.
 fn steady_state_samples(
     client: Client,
     container: Container,
@@ -29,22 +25,7 @@ fn steady_state_samples(
     n: usize,
 ) -> (Vec<f64>, Vec<f64>) {
     let cfg = AnalysisConfig::default();
-    let specs: Vec<SessionSpec> = (0..n)
-        .map(|i| {
-            let engine_seed = derive_seed(
-                seed,
-                &[STREAM_BLOCKS, client as u64, container as u64, profile as u64, i as u64],
-            );
-            SessionSpec::new(
-                client,
-                container,
-                dataset.sample_indexed(seed, i as u64),
-                profile,
-                engine_seed,
-                CAPTURE,
-            )
-        })
-        .collect();
+    let specs: Vec<SessionSpec> = cell_specs(client, container, dataset, profile, seed, n);
     let per_session = map_many(&specs, |i, out| {
         let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
         let blocks: Vec<f64> = analysis
@@ -185,18 +166,14 @@ pub fn fig6b_long_blocks(seed: u64, n: usize) -> FigureData {
 /// the rate.
 pub fn fig7b_ipad_block_vs_rate(seed: u64, n: usize) -> FigureData {
     let cfg = AnalysisConfig::default();
-    let specs: Vec<SessionSpec> = (0..n)
-        .map(|i| {
-            SessionSpec::new(
-                Client::Ipad,
-                Container::Html5,
-                Dataset::YouMob.sample_indexed(seed, i as u64),
-                NetworkProfile::Research,
-                derive_seed(seed, &[0x1AB, i as u64]),
-                CAPTURE,
-            )
-        })
-        .collect();
+    let specs: Vec<SessionSpec> = cell_specs(
+        Client::Ipad,
+        Container::Html5,
+        Dataset::YouMob,
+        NetworkProfile::Research,
+        seed,
+        n,
+    );
     let mut points: Vec<(f64, f64)> = map_many(&specs, |i, out| {
         let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
         let blocks = analysis.steady_state_block_sizes();

@@ -2,23 +2,19 @@
 
 use vstream_analysis::{pearson_correlation, AnalysisConfig, Cdf, SessionPhases};
 use vstream_net::NetworkProfile;
-use vstream_sim::derive_seed;
 use vstream_workload::{Client, Container, Dataset};
 
-use crate::figures::CAPTURE;
+use crate::figures::cell_specs;
 use crate::report::{FigureData, Series};
 use crate::session::{map_many, SessionSpec};
-
-/// Stream tag separating buffering-figure engine seeds from every other
-/// `derive_seed` use of the same root seed.
-const STREAM_BUFFERING: u64 = 0xBFF;
 
 /// Runs `n` sessions of a dataset/cell over one profile and returns
 /// `(encoding_bps, SessionPhases)` per session.
 ///
 /// Engine seeds are identity-derived from
-/// `(client, container, profile, index)`, so sessions are order-independent
-/// and run as a parallel batch.
+/// `(client, container, profile, index)` via [`cell_specs`], so sessions
+/// are order-independent, run as a parallel batch, and coincide with other
+/// figures sampling the same cell.
 fn phase_samples(
     client: Client,
     container: Container,
@@ -28,22 +24,7 @@ fn phase_samples(
     n: usize,
 ) -> Vec<(f64, SessionPhases)> {
     let cfg = AnalysisConfig::default();
-    let specs: Vec<SessionSpec> = (0..n)
-        .map(|i| {
-            let engine_seed = derive_seed(
-                seed,
-                &[STREAM_BUFFERING, client as u64, container as u64, profile as u64, i as u64],
-            );
-            SessionSpec::new(
-                client,
-                container,
-                dataset.sample_indexed(seed, i as u64),
-                profile,
-                engine_seed,
-                CAPTURE,
-            )
-        })
-        .collect();
+    let specs: Vec<SessionSpec> = cell_specs(client, container, dataset, profile, seed, n);
     map_many(&specs, |i, out| {
         let phases = SessionPhases::from_trace(&out.trace, &cfg);
         (specs[i].video.encoding_bps as f64, phases)
@@ -133,28 +114,8 @@ pub fn fig3b_html5_buffering(seed: u64, n: usize) -> (FigureData, f64) {
 pub fn fig11_netflix_buffering(seed: u64, n: usize) -> (FigureData, FigureData) {
     let cfg = AnalysisConfig::default();
     let buffering_cdf = |client: Client, profile: NetworkProfile| -> Vec<(f64, f64)> {
-        let specs: Vec<SessionSpec> = (0..n)
-            .map(|i| {
-                let engine_seed = derive_seed(
-                    seed,
-                    &[
-                        STREAM_BUFFERING,
-                        client as u64,
-                        Container::Silverlight as u64,
-                        profile as u64,
-                        i as u64,
-                    ],
-                );
-                SessionSpec::new(
-                    client,
-                    Container::Silverlight,
-                    Dataset::NetPc.sample_indexed(seed, i as u64),
-                    profile,
-                    engine_seed,
-                    CAPTURE,
-                )
-            })
-            .collect();
+        let specs: Vec<SessionSpec> =
+            cell_specs(client, Container::Silverlight, Dataset::NetPc, profile, seed, n);
         let amounts: Vec<f64> = map_many(&specs, |_, out| {
             let phases = SessionPhases::from_trace(&out.trace, &cfg);
             phases.buffering_bytes as f64 / 1e6

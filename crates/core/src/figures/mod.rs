@@ -28,10 +28,58 @@ pub use rates::{fig8_bulk_rates, fig9_ack_clock, fig9_idle_reset_ablation};
 pub use tables::{table1_strategy_matrix, table2_strategy_comparison};
 pub use traces::{fig10_netflix_traces, fig1_phases, fig2_short_onoff, fig6a_long_onoff, fig7a_ipad_traces};
 
-use vstream_sim::{SimDuration, SimTime};
+use vstream_net::NetworkProfile;
+use vstream_sim::{derive_seed, SimDuration, SimTime};
+use vstream_workload::{Client, Container, Dataset};
+
+use crate::session::SessionSpec;
 
 /// The paper's capture duration per video (§4.2).
 pub const CAPTURE: SimDuration = SimDuration::from_secs(180);
+
+/// Stream tag for the shared per-cell session stream ([`cell_specs`]).
+///
+/// Every figure that aggregates over `n` sessions of one Table 1 cell
+/// derives its engine seeds from this one tag. That is deliberate: two
+/// figures sampling the same `(client, container, dataset, profile)` cell
+/// with the same root seed build *identical* [`SessionSpec`]s, so the
+/// [session cache](crate::cache) computes the cell once and every later
+/// figure hits. (Before the cache, each figure family used a private tag —
+/// 0xBFF, 0x51E, 0x1AB — which made equal cells deliberately disjoint.)
+pub(crate) const STREAM_CELL: u64 = 0xCE11;
+
+/// The standard `n`-session sample of one Table 1 cell: video `i` is drawn
+/// from `dataset` by index and the engine seed is identity-derived from
+/// `(STREAM_CELL, client, container, profile, i)`, so sessions are
+/// order-independent, batch-parallel, and — crucially — equal across every
+/// figure that samples the same cell. The specs are marked
+/// [`shared`](SessionSpec::shared), opting them into cache retention.
+pub(crate) fn cell_specs(
+    client: Client,
+    container: Container,
+    dataset: Dataset,
+    profile: NetworkProfile,
+    seed: u64,
+    n: usize,
+) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|i| {
+            let engine_seed = derive_seed(
+                seed,
+                &[STREAM_CELL, client as u64, container as u64, profile as u64, i as u64],
+            );
+            SessionSpec::new(
+                client,
+                container,
+                dataset.sample_indexed(seed, i as u64),
+                profile,
+                engine_seed,
+                CAPTURE,
+            )
+            .shared()
+        })
+        .collect()
+}
 
 /// Downsamples a cumulative byte series to megabyte points on a time grid,
 /// keeping figures readable without altering their shape.

@@ -45,9 +45,14 @@
 //! The [`figures`] module regenerates every figure and table of the paper's
 //! evaluation, fanning each figure's independent sessions out across cores
 //! through [`session::run_many`] (see `--jobs` on the `repro` binary; output
-//! is byte-identical for any worker count). The `vstream-bench` crate wraps
-//! the figures in benchmarks and the `repro` binary.
+//! is byte-identical for any worker count). Because figures revisit the
+//! same (client, container, video, profile) cells, the [`cache`] module
+//! memoizes completed sessions across figures within a run — sessions are
+//! pure functions of their spec, so cached output is byte-identical too
+//! (see `--no-cache`). The `vstream-bench` crate wraps the figures in
+//! benchmarks and the `repro` binary.
 
+pub mod cache;
 pub mod figures;
 pub mod obs;
 pub mod report;

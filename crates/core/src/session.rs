@@ -11,6 +11,7 @@
 //! RNG while iterating.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use vstream_app::engine::Engine;
 pub use vstream_app::engine::SessionScratch;
@@ -22,6 +23,8 @@ use vstream_obs::{collector, Counter, Gauge, HistId};
 use vstream_sim::{exec, SimDuration};
 use vstream_tcp::EndpointStats;
 use vstream_workload::{logic_for, Client, Container, StrategyLogic};
+
+use crate::cache;
 
 /// Worker count used by the figure/table drivers; `0` selects the host's
 /// available parallelism.
@@ -58,6 +61,12 @@ pub struct SessionSpec {
     /// When set, the viewer abandons the session after this watch time
     /// (§6.2 experiments).
     pub watch_time: Option<SimDuration>,
+    /// Opts this spec into [session cache](crate::cache) retention. Set by
+    /// [`SessionSpec::shared`] for the cross-figure cell stream
+    /// (`figures::cell_specs`); one-off sessions leave it false so the
+    /// cache never retains memory no later driver reads. Not part of the
+    /// cache key — it changes where the result lives, never what it is.
+    pub shared: bool,
 }
 
 impl SessionSpec {
@@ -78,12 +87,22 @@ impl SessionSpec {
             seed,
             capture,
             watch_time: None,
+            shared: false,
         }
     }
 
     /// Marks the session as abandoned after `watch_time`.
     pub fn interrupted(mut self, watch_time: SimDuration) -> Self {
         self.watch_time = Some(watch_time);
+        self
+    }
+
+    /// Marks the session as shared across figure drivers: while the
+    /// [session cache](crate::cache) is installed, its outcome is retained
+    /// (packed) after the first run and later requests decode it instead of
+    /// re-simulating.
+    pub fn shared(mut self) -> Self {
+        self.shared = true;
         self
     }
 
@@ -100,7 +119,18 @@ impl SessionSpec {
     /// [`SessionScratch`] so back-to-back sessions skip their warm-up
     /// allocations. The outcome is bit-identical to [`SessionSpec::run`] —
     /// scratch carries capacity, never state.
+    ///
+    /// While the [session cache](crate::cache) is installed and the spec is
+    /// [`shared`](SessionSpec::shared), the engine runs only on the first
+    /// request for this spec; later requests decode the retained packed
+    /// copy (sessions are pure functions of their spec, so the decode is
+    /// bit-identical to a re-run).
     pub fn run_with_scratch(&self, scratch: &mut SessionScratch) -> Option<CellOutcome> {
+        self.obtain(scratch).0
+    }
+
+    /// The engine path: always simulates, never consults the cache.
+    fn run_uncached(&self, scratch: &mut SessionScratch) -> Option<CellOutcome> {
         let logic = logic_for(self.client, self.container, self.video)?;
         Some(finish(
             self.profile,
@@ -110,6 +140,51 @@ impl SessionSpec {
             self.watch_time,
             scratch,
         ))
+    }
+
+    /// Resolves the session: the outcome, plus the retained cache cell when
+    /// this spec is cacheable (active cache and [`shared`](Self::shared)).
+    /// The engine runs exactly once per distinct cacheable spec per run; a
+    /// **miss** hands back the engine's own outcome (no copy — the retained
+    /// form is packed separately) and a **hit** decodes the packed copy
+    /// into fresh transient memory.
+    ///
+    /// Metrics bookkeeping keeps a metered ledger independent of the cache
+    /// configuration. On a miss, the engine run is bracketed by two
+    /// registry takes so the session's exact metrics delta is captured and
+    /// stored with the cell; the taken registries are merged straight back
+    /// (merge is commutative, counters sum, gauges max), so the worker's
+    /// registry ends up exactly as if nothing had been taken. On a hit,
+    /// the stored delta is merged in as if the engine had run. The
+    /// `cache_*` counters themselves are [`Counter::EXECUTION_DEPENDENT`],
+    /// so byte-comparable ledgers (`VSTREAM_WALL=off`) zero them and
+    /// cache-on vs `--no-cache` runs serialize identically.
+    fn obtain(
+        &self,
+        scratch: &mut SessionScratch,
+    ) -> (Option<CellOutcome>, Option<Arc<cache::CachedCell>>) {
+        if !cache::is_active() || !self.shared {
+            return (self.run_uncached(scratch), None);
+        }
+        let key = cache::key_of(self);
+        if let Some(cell) = cache::lookup(&key) {
+            let m = scratch.metrics_mut();
+            m.merge(&cell.metrics);
+            m.add(Counter::CacheHits, 1);
+            return (cell.unpack_outcome(), Some(cell));
+        }
+        let before = scratch.metrics_mut().take();
+        let out = self.run_uncached(scratch);
+        let delta = scratch.metrics_mut().take();
+        let m = scratch.metrics_mut();
+        m.merge(&before);
+        m.merge(&delta);
+        m.add(Counter::CacheMisses, 1);
+        let (cell, inserted) = cache::insert(key, &out, delta);
+        if inserted {
+            m.add(Counter::CacheBytesRetained, cell.bytes);
+        }
+        (out, Some(cell))
     }
 
     /// A scratch pre-sized for this spec: the trace buffer starts at the
@@ -135,32 +210,97 @@ pub fn run_many(specs: &[SessionSpec]) -> Vec<Option<CellOutcome>> {
 /// warm-up allocations. Scratch reuse never changes results — the
 /// jobs-invariance test below and `scripts/check_determinism.sh` hold this.
 pub fn run_many_jobs(specs: &[SessionSpec], jobs: usize) -> Vec<Option<CellOutcome>> {
-    exec::par_indexed_with_finish(
-        specs.len(),
-        jobs,
-        || batch_scratch(specs),
-        |scratch, i| specs[i].run_with_scratch(scratch),
-        |mut scratch| scratch.flush_metrics(),
-    )
+    batch_cached(specs, jobs, |_, out| out.clone())
 }
 
-/// Runs every spec and reduces each outcome to `f(index, outcome)` **inside
+/// Runs every spec and reduces each outcome to `f(index, &outcome)` **inside
 /// the worker**, so a session's packet trace is dropped before the next
 /// session on that worker starts. Prefer this over [`run_many`] for large
 /// batches: it keeps peak memory at one trace per worker instead of one per
-/// session.
+/// session (the [session cache](crate::cache) retains only the *packed*
+/// form of shared specs, so this promise survives with the cache on).
 pub fn map_many<T, F>(specs: &[SessionSpec], f: F) -> Vec<Option<T>>
 where
     T: Send,
-    F: Fn(usize, CellOutcome) -> T + Sync,
+    F: Fn(usize, &CellOutcome) -> T + Sync,
 {
-    exec::par_indexed_with_finish(
-        specs.len(),
-        default_jobs(),
+    batch_cached(specs, default_jobs(), f)
+}
+
+/// The shared batch path: dedup before dispatch, reduce in-worker.
+///
+/// Duplicate cacheable specs within the batch are computed once —
+/// [`exec::dedup_by_key`] picks each distinct spec's first occurrence as
+/// its *leader*, only the leaders fan out across the worker pool (each
+/// resolving through [`SessionSpec::obtain`], so cross-figure hits
+/// short-circuit too), and the worker that resolves a leader immediately
+/// reduces every duplicate's `f` against the same outcome, replaying the
+/// cell's metrics delta per duplicate exactly like any other cache hit.
+/// Non-shared specs get per-index sentinel keys, so they never dedup and
+/// follow the plain uncached path inside [`SessionSpec::obtain`].
+///
+/// Results are scattered back by original index and each index sees the
+/// same outcome it would have computed itself, so output is bit-identical
+/// to the uncached path at any worker count. Peak memory stays at one
+/// live outcome per worker.
+fn batch_cached<T, F>(specs: &[SessionSpec], jobs: usize, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize, &CellOutcome) -> T + Sync,
+{
+    let cacheable = cache::is_active();
+    let keys: Vec<cache::SessionKey> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if cacheable && s.shared {
+                cache::key_of(s)
+            } else {
+                // Sentinel: real keys start with a small client
+                // discriminant, so `u64::MAX` cannot collide.
+                let mut k = [0u64; 10];
+                k[0] = u64::MAX;
+                k[1] = i as u64;
+                k
+            }
+        })
+        .collect();
+    let (leaders, owner) = exec::dedup_by_key(&keys);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); leaders.len()];
+    for (i, &o) in owner.iter().enumerate() {
+        members[o].push(i);
+    }
+    let per_leader: Vec<Vec<(usize, Option<T>)>> = exec::par_indexed_with_finish(
+        leaders.len(),
+        jobs,
         || batch_scratch(specs),
-        |scratch, i| specs[i].run_with_scratch(scratch).map(|out| f(i, out)),
+        |scratch, u| {
+            let leader = leaders[u];
+            let (out, cell) = specs[leader].obtain(scratch);
+            members[u]
+                .iter()
+                .map(|&i| {
+                    if i != leader {
+                        if let Some(cell) = &cell {
+                            let m = scratch.metrics_mut();
+                            m.merge(&cell.metrics);
+                            m.add(Counter::CacheHits, 1);
+                        }
+                    }
+                    (i, out.as_ref().map(|o| f(i, o)))
+                })
+                .collect()
+        },
         |mut scratch| scratch.flush_metrics(),
-    )
+    );
+    let mut results: Vec<Option<T>> = Vec::with_capacity(specs.len());
+    results.resize_with(specs.len(), || None);
+    for group in per_leader {
+        for (i, r) in group {
+            results[i] = r;
+        }
+    }
+    results
 }
 
 /// The scratch a batch worker starts with: pre-sized from the first spec,
@@ -173,6 +313,11 @@ fn batch_scratch(specs: &[SessionSpec]) -> SessionScratch {
 }
 
 /// Everything measured from one simulated streaming session.
+///
+/// `Clone` exists for [`run_many`]'s batch fan-out: a deduped outcome is
+/// cloned to each duplicate index, which must be indistinguishable from
+/// having re-run the (pure) session.
+#[derive(Clone)]
 pub struct CellOutcome {
     /// The packet capture taken at the client.
     pub trace: Trace,

@@ -226,6 +226,23 @@ impl Ledger {
             ));
         }
 
+        let hits = m.counter(Counter::CacheHits);
+        let misses = m.counter(Counter::CacheMisses);
+        if hits + misses > 0 {
+            let lookups = hits + misses;
+            let crows = vec![vec![
+                hits.to_string(),
+                misses.to_string(),
+                format!("{:.3}", hits as f64 / lookups as f64),
+                m.counter(Counter::CacheBytesRetained).to_string(),
+            ]];
+            out.push('\n');
+            out.push_str(&crate::table::render(
+                &["cache hits", "misses", "hit rate", "bytes retained"],
+                &crows,
+            ));
+        }
+
         if !self.spans.is_empty() {
             let srows: Vec<Vec<String>> = self
                 .spans
@@ -322,5 +339,18 @@ mod tests {
         assert!(s.contains("residence"));
         assert!(s.contains("fig7_ss"));
         assert!(!s.contains("tcp_rto_fires"), "zero slots are elided from the summary");
+        assert!(!s.contains("hit rate"), "cache table absent when the cache never ran");
+    }
+
+    #[test]
+    fn summary_renders_cache_table_when_cache_was_active() {
+        let mut l = sample_ledger();
+        l.totals.add(Counter::CacheHits, 30);
+        l.totals.add(Counter::CacheMisses, 10);
+        l.totals.add(Counter::CacheBytesRetained, 123_456);
+        let s = l.summary(&["research"]);
+        assert!(s.contains("hit rate"));
+        assert!(s.contains("0.750"));
+        assert!(s.contains("123456"));
     }
 }

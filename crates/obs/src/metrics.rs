@@ -201,6 +201,13 @@ slots! {
         CapturePackets => "capture_packets",
         /// Sessions whose trace buffer outgrew its pre-sized capacity.
         CaptureTraceRegrows => "capture_trace_regrows",
+        /// Session-cache lookups answered from a previously stored outcome.
+        CacheHits => "cache_hits",
+        /// Session-cache lookups that had to run the engine.
+        CacheMisses => "cache_misses",
+        /// Bytes retained by the session cache across the run (the cache is
+        /// per-run and never evicts, so inserts accumulate monotonically).
+        CacheBytesRetained => "cache_bytes_retained",
     }
 }
 
@@ -236,12 +243,19 @@ slots! {
 
 impl Counter {
     /// Counters that measure the *execution* (worker count, allocator
-    /// warm-up) rather than the simulation: a worker's first session runs
-    /// on a cold scratch, so these legitimately vary with `--jobs`. The
-    /// collector zeroes them alongside wall time when byte-comparable
-    /// ledgers are requested.
-    pub const EXECUTION_DEPENDENT: [Counter; 2] =
-        [Counter::SimScratchReuseHits, Counter::CaptureTraceRegrows];
+    /// warm-up, cache configuration) rather than the simulation: a worker's
+    /// first session runs on a cold scratch, so scratch reuse legitimately
+    /// varies with `--jobs`, and the session-cache counters vary with
+    /// `--no-cache` while the simulated output does not. The collector
+    /// zeroes them alongside wall time when byte-comparable ledgers are
+    /// requested.
+    pub const EXECUTION_DEPENDENT: [Counter; 5] = [
+        Counter::SimScratchReuseHits,
+        Counter::CaptureTraceRegrows,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheBytesRetained,
+    ];
 }
 
 /// Per-network-profile counters, for questions that need the vantage-point

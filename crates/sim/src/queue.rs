@@ -10,9 +10,13 @@
 //! The queue is a session hot path — a 180 s capture schedules hundreds of
 //! thousands of events — so it supports pre-sizing via
 //! [`EventQueue::with_capacity`] and buffer reuse across sessions via
-//! [`EventQueue::reset`], and the schedule-into-the-past causality check is a
-//! `debug_assert!` rather than an unconditional branch-and-panic. Release
-//! builds that need a recoverable check use [`EventQueue::try_schedule`].
+//! [`EventQueue::reset`]. The schedule-into-the-past causality check is a
+//! real branch in every build mode: a past event would otherwise be
+//! silently clamped (or, worse, misfiled behind the wheel cursor) and the
+//! simulation would drift from its seed without any diagnostic. The branch
+//! is perfectly predicted on the hot path and costs no more than the clamp
+//! it replaced. Callers that want to observe the error instead of aborting
+//! use [`EventQueue::try_schedule`].
 //!
 //! ## Backends
 //!
@@ -309,10 +313,9 @@ enum Backend<E> {
 ///
 /// Events are popped in non-decreasing time order; ties are broken by
 /// insertion order (FIFO). The queue also tracks the time of the last popped
-/// event. Scheduling into the past indicates a causality bug in the caller:
-/// debug builds panic immediately; release builds clamp the event to the
-/// current time so the simulation stays monotonic (use [`Self::try_schedule`]
-/// where the caller wants to observe the error instead).
+/// event. Scheduling into the past indicates a causality bug in the caller
+/// and panics in every build mode (use [`Self::try_schedule`] where the
+/// caller wants to observe the error instead).
 pub struct EventQueue<E> {
     backend: Backend<E>,
     next_seq: u64,
@@ -402,18 +405,19 @@ impl<E> EventQueue<E> {
     /// Schedules `event` to fire at time `at`.
     ///
     /// # Panics
-    /// In debug builds, panics if `at` is earlier than the current simulated
-    /// time: an event scheduled in the past can never fire and always
-    /// indicates a bug in the caller. Release builds skip the branch on the
-    /// hot path and clamp a past timestamp to `now` instead, keeping the
-    /// queue monotonic.
+    /// Panics — in release builds too — if `at` is earlier than the current
+    /// simulated time: an event scheduled in the past can never fire and
+    /// always indicates a bug in the caller. Before this was a hard check,
+    /// release builds clamped the timestamp to `now`, which kept the queue
+    /// monotonic but let the causality bug run on silently (and a past
+    /// bucket index would underflow the wheel's cursor arithmetic,
+    /// misfiling the event into the spill heap).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(
+        assert!(
             at >= self.now,
             "schedule: event at {at} is in the past (now = {})",
             self.now
         );
-        let at = at.max(self.now);
         self.push(at, event);
     }
 
@@ -577,7 +581,6 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(not(debug_assertions), ignore = "past-scheduling panics only in debug builds")]
     #[should_panic(expected = "in the past")]
     fn scheduling_into_the_past_panics() {
         let mut q = EventQueue::new();

@@ -110,6 +110,7 @@ impl Container {
 
 /// A strategy logic for any Table 1 cell, with uniform access to the player
 /// and download counters.
+#[derive(Clone)]
 pub enum StrategyLogic {
     /// YouTube over Flash (server-paced).
     ServerPaced(ServerPacedLogic),

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Verifies the parallel executor's core invariant: `repro` emits
-# byte-identical CSVs — and, with wall-clock timing disabled, a
-# byte-identical metrics ledger — for any --jobs value. Runs the full
-# suite twice (serial, then a multi-worker pool) and diffs the output
-# trees and ledgers.
+# Verifies the executor's and session cache's core invariant: `repro`
+# emits byte-identical CSVs — and, with wall-clock timing disabled, a
+# byte-identical metrics ledger — for any --jobs value and with the
+# session cache on or off. Runs the full suite three times (serial, a
+# multi-worker pool, and --no-cache) and diffs the output trees and
+# ledgers.
 #
 # The second pass uses max(nproc, 8) workers: even on a single-core host
 # this exercises the threaded executor path (8 OS threads racing over the
-# work queue), which is the path the determinism invariant protects.
+# work queue), which is the path the determinism invariant protects. The
+# third pass re-simulates every session instead of reading the cache,
+# which is the path the purity invariant protects.
 #
 # Usage: [JOBS=N] scripts/check_determinism.sh [repro-args...]
 #   e.g. scripts/check_determinism.sh --seed 7 --n 4
@@ -30,13 +33,22 @@ echo "==> pass 2: --jobs $jobs_n"
 VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --csv "$out/jobsN" \
     --metrics "$out/jobsN.metrics.json" "$@" > "$out/jobsN.txt"
 
+echo "==> pass 3: --no-cache"
+VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --no-cache --csv "$out/nocache" \
+    --metrics "$out/nocache.metrics.json" "$@" > "$out/nocache.txt"
+
 diff -r "$out/jobs1" "$out/jobsN"
+diff -r "$out/jobs1" "$out/nocache"
 # The stdout reports embed the csv paths; compare them with the paths
 # normalised away.
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
      <(sed "s|$out/jobsN|CSV|" "$out/jobsN.txt")
-# The telemetry ledger must be jobs-invariant too (wall timing is off, so
-# every remaining quantity is a pure function of the session set).
+diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
+     <(sed "s|$out/nocache|CSV|" "$out/nocache.txt")
+# The telemetry ledger must be jobs- and cache-invariant too (wall timing
+# is off, so every remaining quantity is a pure function of the session
+# set; the cache_* counters are execution-dependent and zeroed).
 diff "$out/jobs1.metrics.json" "$out/jobsN.metrics.json"
+diff "$out/jobs1.metrics.json" "$out/nocache.metrics.json"
 
-echo "OK: output and metrics ledger are byte-identical across --jobs 1 and --jobs $jobs_n"
+echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, and --no-cache"

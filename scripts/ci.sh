@@ -3,9 +3,9 @@
 #
 #   1. release build + the whole test suite (unit, integration, doc-adjacent)
 #   2. the determinism invariant: byte-identical CSVs and metrics ledger
-#      at --jobs 1 and --jobs max(nproc, 8), which also covers the
-#      timing-wheel event queue and per-worker scratch reuse (both are on
-#      by default)
+#      at --jobs 1, --jobs max(nproc, 8), and --no-cache, which also
+#      covers the timing-wheel event queue, per-worker scratch reuse, and
+#      the cross-figure session cache (all on by default)
 #   3. metrics neutrality: a figure slice rendered with and without
 #      --metrics must produce byte-identical CSVs, and the ledger must be
 #      well-formed JSON carrying its schema_version key
@@ -25,7 +25,7 @@ cargo build --release --offline
 echo "==> tests"
 cargo test --offline --quiet
 
-echo "==> determinism: CSVs and metrics ledger invariant under --jobs"
+echo "==> determinism: CSVs and metrics ledger invariant under --jobs and --no-cache"
 scripts/check_determinism.sh
 
 echo "==> metrics neutrality: --metrics must not change the figures"

@@ -1,0 +1,138 @@
+//! The session cache's hard invariants, end to end:
+//!
+//! 1. **Single execution** — two drivers requesting the same shared
+//!    [`SessionSpec`] trigger exactly one engine run; the second gets the
+//!    retained (packed) copy back, decoded bit-identically.
+//! 2. **Transparency** — figure output is byte-identical with the cache
+//!    installed or not, serial or parallel. The cache may skip work; it
+//!    must never change results.
+//! 3. **Selectivity** — only specs marked `shared()` are retained;
+//!    one-off sessions leave no footprint in the store or the counters.
+//!
+//! The cache and collector are process-global, so everything runs from one
+//! `#[test]`. Metered passes install the collector with wall timing *on*:
+//! the `cache_*` counters are `Counter::EXECUTION_DEPENDENT` and a
+//! byte-comparable (wall-off) ledger deliberately zeroes them.
+
+use vstream::cache;
+use vstream::figures as f;
+use vstream::obs::{collector, Counter};
+use vstream::prelude::*;
+
+fn spec(seed: u64) -> SessionSpec {
+    SessionSpec::new(
+        Client::Firefox,
+        Container::Flash,
+        Video::new(1, 1_000_000, SimDuration::from_secs(600)),
+        NetworkProfile::Research,
+        seed,
+        SimDuration::from_secs(30),
+    )
+}
+
+/// Two figures that sample the *same* Table 1 cells (Firefox/Flash over all
+/// four networks), so the second one can be served entirely from the cache.
+fn figure_suite(jobs: usize) -> Vec<String> {
+    set_default_jobs(jobs);
+    let (fig3a, _corr) = f::fig3a_flash_buffering(97, 2);
+    let (fig4a, fig4b) = f::fig4_flash_steady_state(97, 2);
+    set_default_jobs(0);
+    vec![fig3a.to_csv(), fig4a.to_csv(), fig4b.to_csv()]
+}
+
+#[test]
+fn cache_is_transparent_selective_and_single_execution() {
+    // --- 1. Same shared spec requested twice: one engine run, identical
+    // outcomes. The ledger distinguishes the paths (1 miss + 1 hit) while
+    // its session counts stay replay-equalized by design.
+    collector::install(true);
+    cache::install();
+    let s = spec(301).shared();
+    let first = s.run().expect("valid cell");
+    let second = s.run().expect("valid cell");
+    assert_eq!(first.trace.records(), second.trace.records());
+    assert_eq!(first.trace.connections(), second.trace.connections());
+    assert_eq!(first.logic.read_total(), second.logic.read_total());
+    assert_eq!(first.connections, second.connections);
+    assert_eq!(first.connection_stats, second.connection_stats);
+    assert_eq!(first.base_rtt, second.base_rtt);
+    assert_eq!(cache::len(), 1);
+    assert!(cache::bytes_retained() > 0);
+    // Packed retention: the store must hold far less than the live trace
+    // (~120 bytes/record raw; the packed form targets ~20×).
+    let raw = first.trace.len() as u64 * 120;
+    assert!(
+        cache::bytes_retained() * 4 < raw,
+        "retained {} bytes for a {} byte raw trace — packing ineffective",
+        cache::bytes_retained(),
+        raw
+    );
+    let ledger = collector::take().expect("metered run");
+    assert_eq!(
+        ledger.totals.counter(Counter::CacheMisses),
+        1,
+        "engine must run exactly once for a repeated shared spec"
+    );
+    assert_eq!(ledger.totals.counter(Counter::CacheHits), 1);
+    assert!(ledger.totals.counter(Counter::CacheBytesRetained) > 0);
+    assert_eq!(
+        ledger.totals.counter(Counter::SimSessions),
+        2,
+        "hits replay the session's metrics delta, keeping ledgers cache-independent"
+    );
+    cache::uninstall();
+
+    // --- 2. In-batch dedup: duplicate shared specs compute once, and every
+    // index still sees its own outcome.
+    collector::install(true);
+    cache::install();
+    let batch = vec![spec(302).shared(), spec(303).shared(), spec(302).shared()];
+    let outs = run_many_jobs(&batch, 2);
+    let t = |i: usize| outs[i].as_ref().expect("valid cell").trace.records();
+    assert_eq!(t(0), t(2), "duplicate indices must agree");
+    let ledger = collector::take().expect("metered run");
+    assert_eq!(ledger.totals.counter(Counter::CacheMisses), 2);
+    assert_eq!(ledger.totals.counter(Counter::CacheHits), 1);
+    assert_eq!(cache::len(), 2);
+    cache::uninstall();
+
+    // --- 3. Selectivity: non-shared specs bypass retention entirely, even
+    // with the cache installed and even when duplicated in a batch.
+    collector::install(true);
+    cache::install();
+    let plain = vec![spec(304), spec(304)];
+    let outs = run_many_jobs(&plain, 1);
+    assert_eq!(
+        outs[0].as_ref().expect("valid").trace.records(),
+        outs[1].as_ref().expect("valid").trace.records(),
+        "purity holds with or without the cache"
+    );
+    let ledger = collector::take().expect("metered run");
+    assert_eq!(ledger.totals.counter(Counter::CacheMisses), 0);
+    assert_eq!(ledger.totals.counter(Counter::CacheHits), 0);
+    assert_eq!(cache::len(), 0, "non-shared sessions must not be retained");
+    cache::uninstall();
+
+    // --- 4. Transparency at the figure level: byte-identical CSVs with the
+    // cache off, on (serial), and on (parallel) — and the second figure of
+    // the cached suite is served from the first one's sessions.
+    let baseline = figure_suite(1); // cache off
+
+    collector::install(true);
+    cache::install();
+    let cached_serial = figure_suite(1);
+    let ledger = collector::take().expect("metered run");
+    assert!(
+        ledger.totals.counter(Counter::CacheHits) >= 8,
+        "fig4 must hit fig3a's retained cells, saw {} hits",
+        ledger.totals.counter(Counter::CacheHits)
+    );
+    cache::uninstall();
+
+    cache::install();
+    let cached_parallel = figure_suite(8);
+    cache::uninstall();
+
+    assert_eq!(baseline, cached_serial, "cache-on output differs from cache-off");
+    assert_eq!(baseline, cached_parallel, "cached parallel output differs");
+}
