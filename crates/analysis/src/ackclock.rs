@@ -32,10 +32,10 @@ pub fn first_rtt_bytes(trace: &Trace, config: &AnalysisConfig, rtt: SimDuration)
         // The iterator resumes where the previous cycle left off; records
         // are chronological so each is visited once.
         while let Some(r) = data.peek() {
-            if r.at < cycle.on_start {
+            if r.at() < cycle.on_start {
                 data.next();
-            } else if r.at < deadline {
-                bytes += r.seg.payload as u64;
+            } else if r.at() < deadline {
+                bytes += r.payload() as u64;
                 data.next();
             } else {
                 break;

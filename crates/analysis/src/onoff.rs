@@ -83,25 +83,25 @@ impl OnOffAnalysis {
             match current.as_mut() {
                 None => {
                     current = Some(Cycle {
-                        on_start: r.at,
-                        on_end: r.at,
-                        bytes: r.seg.payload as u64,
+                        on_start: r.at(),
+                        on_end: r.at(),
+                        bytes: r.payload() as u64,
                         packets: 1,
                     });
                 }
                 Some(c) => {
-                    if r.at.duration_since(c.on_end) > config.idle_threshold {
-                        off_periods.push((c.on_end, r.at));
+                    if r.at().duration_since(c.on_end) > config.idle_threshold {
+                        off_periods.push((c.on_end, r.at()));
                         cycles.push(*c);
                         *c = Cycle {
-                            on_start: r.at,
-                            on_end: r.at,
-                            bytes: r.seg.payload as u64,
+                            on_start: r.at(),
+                            on_end: r.at(),
+                            bytes: r.payload() as u64,
                             packets: 1,
                         };
                     } else {
-                        c.on_end = r.at;
-                        c.bytes += r.seg.payload as u64;
+                        c.on_end = r.at();
+                        c.bytes += r.payload() as u64;
                         c.packets += 1;
                     }
                 }

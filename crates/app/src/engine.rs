@@ -829,8 +829,8 @@ mod tests {
             finished_at: None,
         };
         eng.run(&mut logic);
-        let incoming = eng.trace().records().iter().filter(|r| r.dir == TapDirection::Incoming).count();
-        let outgoing = eng.trace().records().iter().filter(|r| r.dir == TapDirection::Outgoing).count();
+        let incoming = eng.trace().records().filter(|r| r.dir() == TapDirection::Incoming).count();
+        let outgoing = eng.trace().records().filter(|r| r.dir() == TapDirection::Outgoing).count();
         assert!(incoming > 0);
         assert!(outgoing > 0, "tap must record ACKs too");
     }

@@ -328,8 +328,7 @@ mod tests {
         let _ = eng
             .trace()
             .records()
-            .iter()
-            .filter(|r| r.dir == TapDirection::Incoming)
+            .filter(|r| r.dir() == TapDirection::Incoming)
             .count();
     }
 }

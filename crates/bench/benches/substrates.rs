@@ -99,7 +99,48 @@ fn bench_analysis(c: &mut Criterion) {
     g.bench_function("download_series", |b| {
         b.iter(|| black_box(trace.download_series().len()))
     });
+    g.bench_function("throughput_timeline", |b| {
+        b.iter(|| black_box(trace.throughput_timeline(SimDuration::from_millis(100)).len()))
+    });
+    g.bench_function("total_downloaded", |b| {
+        b.iter(|| black_box(trace.total_downloaded()))
+    });
     g.finish();
+}
+
+/// Pack/unpack of the retained-trace format the session cache stores: the
+/// same paced capture the analysis benches scan, through a full
+/// compress/decompress cycle. The bytes-per-record line printed after the
+/// group is the figure DESIGN.md quotes for the packed format.
+fn bench_pack(c: &mut Criterion) {
+    use vstream_capture::PackedTrace;
+    let out = run_cell(
+        Client::Firefox,
+        Container::Flash,
+        Video::new(1, 1_000_000, SimDuration::from_secs(2400)),
+        NetworkProfile::Research,
+        3,
+        SimDuration::from_secs(180),
+    )
+    .unwrap();
+    let trace = out.trace;
+    let packed = PackedTrace::pack(&trace);
+
+    let mut g = c.benchmark_group("pack");
+    g.sample_size(20);
+    g.bench_function("pack", |b| {
+        b.iter(|| black_box(PackedTrace::pack(black_box(&trace)).packed_bytes()))
+    });
+    g.bench_function("unpack", |b| {
+        b.iter(|| black_box(black_box(&packed).unpack().len()))
+    });
+    g.finish();
+    println!(
+        "pack/bytes_per_record: {:.3} ({} bytes / {} records)",
+        packed.packed_bytes() as f64 / trace.len().max(1) as f64,
+        packed.packed_bytes(),
+        trace.len()
+    );
 }
 
 /// Batch throughput of the parallel session executor: the same 8-session
@@ -173,6 +214,7 @@ criterion_group!(
     benches,
     bench_sessions,
     bench_analysis,
+    bench_pack,
     bench_sessions_per_sec,
     bench_fluid_model
 );

@@ -11,8 +11,13 @@
 //! tool (Wireshark, tshark, tcptrace) can inspect simulated sessions.
 
 //! For long-term retention (the cross-figure session cache) a trace can be
-//! delta-compressed into a [`PackedTrace`] at ~20× and reconstructed
+//! delta-compressed into a [`PackedTrace`] at ~30× and reconstructed
 //! exactly.
+//!
+//! Storage is columnar: [`Trace`] keeps one dense array per segment field
+//! (plus a side table for rare SACK state), records are addressed through
+//! the lightweight [`trace::PacketRef`] view, and analysis scans read only
+//! the columns they consume.
 
 pub mod pack;
 pub mod pcap;
@@ -21,4 +26,4 @@ pub mod trace;
 
 pub use pack::PackedTrace;
 pub use record::{PacketRecord, TapDirection};
-pub use trace::Trace;
+pub use trace::{ConnectionSummary, ConnectionView, PacketRef, Trace};

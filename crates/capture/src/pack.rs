@@ -1,14 +1,18 @@
-//! Compact, lossless packed form of a [`Trace`].
+//! Compact, lossless packed form of a [`Trace`], stored column-wise.
 //!
-//! A raw [`PacketRecord`] is ~120 bytes, dominated by a [`SackBlocks`] that
-//! is empty on almost every packet. A retained capture (see the session
-//! cache in the `vstream` crate) would hold gigabytes in that form — and on
-//! the machines this runs on, *cold* memory is the expensive resource: every
+//! A raw packet record is ~120 bytes, dominated by a [`SackBlocks`] that is
+//! empty on almost every packet. A retained capture (see the session cache
+//! in the `vstream` crate) would hold gigabytes in that form — and on the
+//! machines this runs on, *cold* memory is the expensive resource: every
 //! freshly faulted page costs far more than the arithmetic that fills it.
 //! `PackedTrace` stores the same information in a few bytes per record by
 //! exploiting what captures look like:
 //!
-//! * timestamps are monotone — delta-encode against the previous record;
+//! * timestamps are monotone and share a coarse clock granularity (link
+//!   serialization and timer delays are multiples of a per-trace tick;
+//!   half the deltas are zero, as data arrival and the ACK it triggers
+//!   carry the same capture time) — delta-encode, scaled down by the
+//!   GCD of all deltas, which is recorded once per trace;
 //! * `seq` advances by exactly the previous payload on the same
 //!   (connection, direction) stream — predict it and encode only misses
 //!   (retransmissions, reordering);
@@ -19,39 +23,54 @@
 //! * flags are almost always plain ACKs and SACK blocks are rare — a tag
 //!   bit gates an optional extras byte.
 //!
-//! Typical captures pack to 4–6 bytes per record (~20×). Round-tripping is
+//! # Column-wise layout
+//!
+//! The packed bytes mirror the [`Trace`]'s structure-of-arrays: one
+//! contiguous *stream* per field (tags, timestamp deltas, connection ids,
+//! payloads, seq/ack/window deltas, extras bytes, SACK data), prefixed by
+//! the trace's timestamp tick and a table of stream lengths. Unpacking
+//! reads each stream through its own sequential cursor and appends
+//! straight to the trace's columns — no array-of-structs detour. An empty
+//! trace packs to zero bytes.
+//!
+//! Typical captures pack to ~4 bytes per record (~30×). Round-tripping is
 //! exact: `unpack(pack(t)) == t` field for field, which the session cache
 //! relies on for byte-identical figure output.
 //!
 //! All integers are LEB128 varints; signed deltas are zigzag-mapped first.
 //! Deltas use wrapping arithmetic, so the encoding is total — any `u64`
 //! pair round-trips, the predictors only decide how many bytes it costs.
+//! Truncated or corrupt packed bytes are a checked error in release builds
+//! too: every stream must parse exactly to its recorded length, and any
+//! overrun or leftover bytes panic with a diagnostic instead of yielding a
+//! silently wrong trace.
 
 use vstream_sim::SimTime;
 use vstream_tcp::segment::SackBlocks;
-use vstream_tcp::Segment;
 
-use crate::record::TapDirection;
-use crate::trace::Trace;
+use crate::trace::{
+    Trace, FLAG_ACK, FLAG_FIN, FLAG_OUTGOING, FLAG_RETX, FLAG_SACK, FLAG_SYN,
+};
 
-/// Tag bit: direction is [`TapDirection::Outgoing`].
+/// Tag bit: direction is outgoing.
 const TAG_OUTGOING: u8 = 1 << 0;
-/// Tag bit: connection id differs from the previous record's (varint
-/// follows).
+/// Tag bit: connection id differs from the previous record's (varint in the
+/// connection stream).
 const TAG_CONN: u8 = 1 << 1;
 /// Tag bits 2–3: payload class.
 const TAG_PAYLOAD_SHIFT: u8 = 2;
 const PAYLOAD_ZERO: u8 = 0;
 const PAYLOAD_PREDICTED: u8 = 1;
 const PAYLOAD_EXPLICIT: u8 = 2;
-/// Tag bit: `seq` missed the predictor (zigzag delta follows).
+/// Tag bit: `seq` missed the predictor (zigzag delta in the seq stream).
 const TAG_SEQ: u8 = 1 << 4;
-/// Tag bit: `ack_no` missed the predictor (zigzag delta follows).
+/// Tag bit: `ack_no` missed the predictor (zigzag delta in the ack stream).
 const TAG_ACK: u8 = 1 << 5;
-/// Tag bit: `window` missed the predictor (zigzag delta follows).
+/// Tag bit: `window` missed the predictor (zigzag delta in the window
+/// stream).
 const TAG_WINDOW: u8 = 1 << 6;
-/// Tag bit: an extras byte follows (unusual flags, SACK blocks, or a SACK
-/// high-water move).
+/// Tag bit: an extras byte follows in the extras stream (unusual flags,
+/// SACK blocks, or a SACK high-water move).
 const TAG_EXTRAS: u8 = 1 << 7;
 
 /// Extras bits 0–3: the raw flags.
@@ -59,12 +78,28 @@ const EX_SYN: u8 = 1 << 0;
 const EX_FIN: u8 = 1 << 1;
 const EX_ACK: u8 = 1 << 2;
 const EX_RETX: u8 = 1 << 3;
-/// Extras bits 4–5: number of SACK blocks (0–3), each encoded as
-/// `zigzag(start - ack_no), varint(end - start)`.
+/// Extras bits 4–5: number of SACK blocks (0–3), each encoded in the SACK
+/// stream as `zigzag(start - ack_no), varint(end - start)`.
 const EX_SACK_SHIFT: u8 = 4;
 /// Extras bit 6: the SACK high-water mark missed its predictor (zigzag
-/// delta follows, after the blocks).
+/// delta in the SACK stream, after the blocks).
 const EX_HIGHEST: u8 = 1 << 6;
+
+/// The field streams, in packed order. The stream-length table at the head
+/// of the packed bytes has one varint per entry.
+const STREAM_NAMES: [&str; 9] = [
+    "tag", "timestamp", "connection", "payload", "seq", "ack", "window", "extras", "sack",
+];
+const S_TAG: usize = 0;
+const S_AT: usize = 1;
+const S_CONN: usize = 2;
+const S_PAYLOAD: usize = 3;
+const S_SEQ: usize = 4;
+const S_ACK: usize = 5;
+const S_WINDOW: usize = 6;
+const S_EX: usize = 7;
+const S_SACK: usize = 8;
+const NUM_STREAMS: usize = STREAM_NAMES.len();
 
 /// Per-(connection, direction) predictor state. Encoder and decoder step
 /// identical copies of this, so a predictor hit costs zero bytes.
@@ -82,19 +117,6 @@ struct StreamState {
     highest: u64,
 }
 
-impl StreamState {
-    /// Advances the predictors past a just-coded record.
-    fn advance(&mut self, seg: &Segment) {
-        self.seq = seg.seq_end();
-        self.ack = seg.ack_no;
-        self.window = seg.window;
-        if seg.payload > 0 {
-            self.payload = seg.payload;
-        }
-        self.highest = seg.sack.highest_end();
-    }
-}
-
 /// Predictor states for both directions of every connection seen so far.
 /// Connection ids are assigned densely by the session layer, so a flat
 /// `Vec` indexed by id beats a map.
@@ -104,12 +126,72 @@ struct Predictors {
 }
 
 impl Predictors {
-    fn get(&mut self, conn: u32, dir: TapDirection) -> &mut StreamState {
+    fn get(&mut self, conn: u32, outgoing: bool) -> &mut StreamState {
         let conn = conn as usize;
         if conn >= self.streams.len() {
             self.streams.resize(conn + 1, [StreamState::default(); 2]);
         }
-        &mut self.streams[conn][(dir == TapDirection::Outgoing) as usize]
+        &mut self.streams[conn][outgoing as usize]
+    }
+}
+
+/// A checked cursor over one packed stream. Every read is bounds-checked in
+/// release builds — truncated input panics with the stream's name instead
+/// of decoding garbage — and [`Reader::finish`] requires the stream to be
+/// consumed exactly.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    name: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], name: &'static str) -> Self {
+        Reader { bytes, pos: 0, name }
+    }
+
+    fn u8(&mut self) -> u8 {
+        assert!(
+            self.pos < self.bytes.len(),
+            "corrupt packed trace: {} stream truncated at byte {}",
+            self.name,
+            self.pos
+        );
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn varint(&mut self) -> u64 {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8();
+            assert!(
+                shift < 64,
+                "corrupt packed trace: over-long varint in {} stream",
+                self.name
+            );
+            v |= ((b & 0x7f) as u64) << shift;
+            if b < 0x80 {
+                return v;
+            }
+            shift += 7;
+        }
+    }
+
+    fn zigzag(&mut self) -> u64 {
+        let z = self.varint();
+        ((z >> 1) as i64 ^ -((z & 1) as i64)) as u64
+    }
+
+    fn finish(self) {
+        assert_eq!(
+            self.pos,
+            self.bytes.len(),
+            "corrupt packed trace: {} stream not fully consumed",
+            self.name
+        );
     }
 }
 
@@ -124,184 +206,329 @@ impl PackedTrace {
     /// Packs `trace`. The input is unchanged; [`PackedTrace::unpack`]
     /// reproduces it exactly.
     pub fn pack(trace: &Trace) -> PackedTrace {
-        // ~6 bytes/record covers typical captures without regrowing.
-        let mut bytes = Vec::with_capacity(trace.len() * 6 + 16);
+        let n = trace.len();
+        if n == 0 {
+            return PackedTrace::default();
+        }
+        // Per-trace timestamp tick: the GCD of every successive delta.
+        // Simulated delays (link serialization, pacing timers, RTT legs)
+        // are multiples of a coarse granularity, so dividing deltas by the
+        // tick saves a byte on most non-zero entries. A trace whose deltas
+        // are all zero gets tick 1.
+        let mut scale = 0u64;
+        let mut last = 0u64;
+        for &at in &trace.at {
+            scale = gcd(scale, at.as_nanos().wrapping_sub(last));
+            if scale == 1 {
+                break;
+            }
+            last = at.as_nanos();
+        }
+        let scale = scale.max(1);
+
+        let mut streams: [Vec<u8>; NUM_STREAMS] = Default::default();
+        streams[S_TAG].reserve(n);
+        streams[S_AT].reserve(n * 2);
         let mut preds = Predictors::default();
         let mut last_at = 0u64;
         let mut last_conn = 0u32;
-        for r in trace.records() {
-            let s = preds.get(r.seg.conn, r.dir);
-            let seg = &r.seg;
+        let mut sack_cursor = 0usize;
+        for i in 0..n {
+            let flags = trace.tags[i];
+            let outgoing = flags & FLAG_OUTGOING != 0;
+            let conn = trace.conn[i];
+            let payload = trace.payload[i];
+            let seq = trace.seq[i];
+            let ack_no = trace.ack_no[i];
+            let window = trace.window[i];
+            let sack = if flags & FLAG_SACK != 0 {
+                let s = trace.extras_sack[sack_cursor];
+                sack_cursor += 1;
+                s
+            } else {
+                SackBlocks::EMPTY
+            };
+            let (syn, fin, ack, retx) = (
+                flags & FLAG_SYN != 0,
+                flags & FLAG_FIN != 0,
+                flags & FLAG_ACK != 0,
+                flags & FLAG_RETX != 0,
+            );
+            let s = preds.get(conn, outgoing);
 
             let mut tag = 0u8;
-            if r.dir == TapDirection::Outgoing {
+            if outgoing {
                 tag |= TAG_OUTGOING;
             }
-            if seg.conn != last_conn {
+            if conn != last_conn {
                 tag |= TAG_CONN;
             }
-            let payload_class = if seg.payload == 0 {
+            let payload_class = if payload == 0 {
                 PAYLOAD_ZERO
-            } else if seg.payload == s.payload {
+            } else if payload == s.payload {
                 PAYLOAD_PREDICTED
             } else {
                 PAYLOAD_EXPLICIT
             };
             tag |= payload_class << TAG_PAYLOAD_SHIFT;
-            if seg.seq != s.seq {
+            if seq != s.seq {
                 tag |= TAG_SEQ;
             }
-            if seg.ack_no != s.ack {
+            if ack_no != s.ack {
                 tag |= TAG_ACK;
             }
-            if seg.window != s.window {
+            if window != s.window {
                 tag |= TAG_WINDOW;
             }
-            let plain_flags = seg.ack && !seg.syn && !seg.fin && !seg.retx;
-            let extras = !plain_flags
-                || !seg.sack.is_empty()
-                || seg.sack.highest_end() != s.highest;
+            let plain_flags = ack && !syn && !fin && !retx;
+            let extras =
+                !plain_flags || !sack.is_empty() || sack.highest_end() != s.highest;
             if extras {
                 tag |= TAG_EXTRAS;
             }
 
-            bytes.push(tag);
-            put_varint(&mut bytes, r.at.as_nanos().wrapping_sub(last_at));
+            streams[S_TAG].push(tag);
+            let at = trace.at[i].as_nanos();
+            put_varint(&mut streams[S_AT], at.wrapping_sub(last_at) / scale);
+            last_at = at;
             if tag & TAG_CONN != 0 {
-                put_varint(&mut bytes, seg.conn as u64);
+                put_varint(&mut streams[S_CONN], conn as u64);
             }
             if payload_class == PAYLOAD_EXPLICIT {
-                put_varint(&mut bytes, seg.payload as u64);
+                put_varint(&mut streams[S_PAYLOAD], payload as u64);
             }
             if tag & TAG_SEQ != 0 {
-                put_zigzag(&mut bytes, seg.seq.wrapping_sub(s.seq));
+                put_zigzag(&mut streams[S_SEQ], seq.wrapping_sub(s.seq));
             }
             if tag & TAG_ACK != 0 {
-                put_zigzag(&mut bytes, seg.ack_no.wrapping_sub(s.ack));
+                put_zigzag(&mut streams[S_ACK], ack_no.wrapping_sub(s.ack));
             }
             if tag & TAG_WINDOW != 0 {
-                put_zigzag(&mut bytes, seg.window.wrapping_sub(s.window));
+                put_zigzag(&mut streams[S_WINDOW], window.wrapping_sub(s.window));
             }
             if extras {
                 let mut ex = 0u8;
-                if seg.syn {
+                if syn {
                     ex |= EX_SYN;
                 }
-                if seg.fin {
+                if fin {
                     ex |= EX_FIN;
                 }
-                if seg.ack {
+                if ack {
                     ex |= EX_ACK;
                 }
-                if seg.retx {
+                if retx {
                     ex |= EX_RETX;
                 }
-                ex |= (seg.sack.len() as u8) << EX_SACK_SHIFT;
-                let highest_moved = seg.sack.highest_end() != s.highest;
+                ex |= (sack.len() as u8) << EX_SACK_SHIFT;
+                let highest_moved = sack.highest_end() != s.highest;
                 if highest_moved {
                     ex |= EX_HIGHEST;
                 }
-                bytes.push(ex);
-                for (start, end) in seg.sack.iter() {
-                    put_zigzag(&mut bytes, start.wrapping_sub(seg.ack_no));
-                    put_varint(&mut bytes, end - start);
+                streams[S_EX].push(ex);
+                for (start, end) in sack.iter() {
+                    put_zigzag(&mut streams[S_SACK], start.wrapping_sub(ack_no));
+                    put_varint(&mut streams[S_SACK], end - start);
                 }
                 if highest_moved {
-                    put_zigzag(&mut bytes, seg.sack.highest_end().wrapping_sub(s.highest));
+                    put_zigzag(
+                        &mut streams[S_SACK],
+                        sack.highest_end().wrapping_sub(s.highest),
+                    );
                 }
             }
 
-            s.advance(seg);
-            last_at = r.at.as_nanos();
-            last_conn = seg.conn;
+            s.seq = seq + payload as u64;
+            s.ack = ack_no;
+            s.window = window;
+            if payload > 0 {
+                s.payload = payload;
+            }
+            s.highest = sack.highest_end();
+            last_conn = conn;
+        }
+
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut bytes = Vec::with_capacity(total + NUM_STREAMS * 3 + 3);
+        put_varint(&mut bytes, scale);
+        for s in &streams {
+            put_varint(&mut bytes, s.len() as u64);
+        }
+        for s in &streams {
+            bytes.extend_from_slice(s);
         }
         bytes.shrink_to_fit();
-        PackedTrace {
-            bytes,
-            len: trace.len(),
-        }
+        PackedTrace { bytes, len: n }
     }
 
-    /// Reconstructs the original trace, exactly.
+    /// Reconstructs the original trace, exactly — sequential reads of each
+    /// field stream, appending straight to the trace's columns.
+    ///
+    /// # Panics
+    /// Panics (release builds included) if the packed bytes are truncated,
+    /// carry trailing garbage, or any stream fails to parse to exactly its
+    /// recorded length.
     pub fn unpack(&self) -> Trace {
-        let mut trace = Trace::with_capacity(self.len);
-        let mut preds = Predictors::default();
+        let n = self.len;
+        let mut trace = Trace::with_capacity(n);
+        if n == 0 {
+            assert!(
+                self.bytes.is_empty(),
+                "corrupt packed trace: empty trace carries {} bytes",
+                self.bytes.len()
+            );
+            return trace;
+        }
+
+        // Timestamp tick and stream-length table, then one slice per
+        // stream.
+        let mut header = Reader::new(&self.bytes, "stream table");
+        let scale = header.varint();
+        assert!(scale != 0, "corrupt packed trace: zero timestamp tick");
+        let mut lens = [0usize; NUM_STREAMS];
+        for l in &mut lens {
+            *l = header.varint() as usize;
+        }
+        let mut start = header.pos;
+        let mut streams = [&[] as &[u8]; NUM_STREAMS];
+        for (i, &len) in lens.iter().enumerate() {
+            let end = start.checked_add(len).filter(|&e| e <= self.bytes.len());
+            let end = end.unwrap_or_else(|| {
+                panic!(
+                    "corrupt packed trace: {} stream overruns the packed bytes",
+                    STREAM_NAMES[i]
+                )
+            });
+            streams[i] = &self.bytes[start..end];
+            start = end;
+        }
+        assert_eq!(
+            start,
+            self.bytes.len(),
+            "corrupt packed trace: trailing bytes after the last stream"
+        );
+
+        let tags = streams[S_TAG];
+        assert_eq!(
+            tags.len(),
+            n,
+            "corrupt packed trace: tag stream holds {} records, expected {n}",
+            tags.len()
+        );
+
+        // Timestamps first: a tight tick-scaled delta loop over one column.
+        let mut r_at = Reader::new(streams[S_AT], STREAM_NAMES[S_AT]);
         let mut last_at = 0u64;
+        for _ in 0..n {
+            last_at = last_at.wrapping_add(r_at.varint().wrapping_mul(scale));
+            trace.at.push(SimTime::from_nanos(last_at));
+        }
+        r_at.finish();
+
+        // Everything else in one fused pass: each field stream is read
+        // through its own sequential cursor, the per-(connection,
+        // direction) predictors step exactly as the encoder's did, and
+        // every decoded value is appended straight to its column.
+        let mut r_conn = Reader::new(streams[S_CONN], STREAM_NAMES[S_CONN]);
+        let mut r_payload = Reader::new(streams[S_PAYLOAD], STREAM_NAMES[S_PAYLOAD]);
+        let mut r_seq = Reader::new(streams[S_SEQ], STREAM_NAMES[S_SEQ]);
+        let mut r_ack = Reader::new(streams[S_ACK], STREAM_NAMES[S_ACK]);
+        let mut r_window = Reader::new(streams[S_WINDOW], STREAM_NAMES[S_WINDOW]);
+        let mut r_ex = Reader::new(streams[S_EX], STREAM_NAMES[S_EX]);
+        let mut r_sack = Reader::new(streams[S_SACK], STREAM_NAMES[S_SACK]);
+        let mut preds = Predictors::default();
         let mut last_conn = 0u32;
-        let mut pos = 0usize;
-        for _ in 0..self.len {
-            let tag = self.bytes[pos];
-            pos += 1;
-            let at = last_at.wrapping_add(get_varint(&self.bytes, &mut pos));
-            let dir = if tag & TAG_OUTGOING != 0 {
-                TapDirection::Outgoing
-            } else {
-                TapDirection::Incoming
-            };
-            let conn = if tag & TAG_CONN != 0 {
-                get_varint(&self.bytes, &mut pos) as u32
-            } else {
-                last_conn
-            };
-            let s = *preds.get(conn, dir);
+        for (i, &tag) in tags.iter().enumerate() {
+            let outgoing = tag & TAG_OUTGOING != 0;
+            if tag & TAG_CONN != 0 {
+                last_conn = r_conn.varint() as u32;
+                if let Err(pos) = trace.conns.binary_search(&last_conn) {
+                    trace.conns.insert(pos, last_conn);
+                }
+            }
+            let conn = last_conn;
+            let s = preds.get(conn, outgoing);
             let payload = match (tag >> TAG_PAYLOAD_SHIFT) & 0x3 {
                 PAYLOAD_ZERO => 0,
                 PAYLOAD_PREDICTED => s.payload,
-                _ => get_varint(&self.bytes, &mut pos) as u32,
+                PAYLOAD_EXPLICIT => r_payload.varint() as u32,
+                class => panic!("corrupt packed trace: payload class {class}"),
             };
             let seq = if tag & TAG_SEQ != 0 {
-                s.seq.wrapping_add(get_zigzag(&self.bytes, &mut pos))
+                s.seq.wrapping_add(r_seq.zigzag())
             } else {
                 s.seq
             };
             let ack_no = if tag & TAG_ACK != 0 {
-                s.ack.wrapping_add(get_zigzag(&self.bytes, &mut pos))
+                s.ack.wrapping_add(r_ack.zigzag())
             } else {
                 s.ack
             };
             let window = if tag & TAG_WINDOW != 0 {
-                s.window.wrapping_add(get_zigzag(&self.bytes, &mut pos))
+                s.window.wrapping_add(r_window.zigzag())
             } else {
                 s.window
             };
-            let (mut syn, mut fin, mut ack, mut retx) = (false, false, true, false);
+            let mut flags = if outgoing { FLAG_OUTGOING } else { 0 };
             let mut sack = SackBlocks::EMPTY;
             let mut highest = s.highest;
             if tag & TAG_EXTRAS != 0 {
-                let ex = self.bytes[pos];
-                pos += 1;
-                syn = ex & EX_SYN != 0;
-                fin = ex & EX_FIN != 0;
-                ack = ex & EX_ACK != 0;
-                retx = ex & EX_RETX != 0;
+                let ex = r_ex.u8();
+                if ex & EX_SYN != 0 {
+                    flags |= FLAG_SYN;
+                }
+                if ex & EX_FIN != 0 {
+                    flags |= FLAG_FIN;
+                }
+                if ex & EX_ACK != 0 {
+                    flags |= FLAG_ACK;
+                }
+                if ex & EX_RETX != 0 {
+                    flags |= FLAG_RETX;
+                }
                 for _ in 0..(ex >> EX_SACK_SHIFT) & 0x3 {
-                    let start = ack_no.wrapping_add(get_zigzag(&self.bytes, &mut pos));
-                    let span = get_varint(&self.bytes, &mut pos);
+                    let start = ack_no.wrapping_add(r_sack.zigzag());
+                    let span = r_sack.varint();
                     sack.push(start, start + span);
                 }
                 if ex & EX_HIGHEST != 0 {
-                    highest = s.highest.wrapping_add(get_zigzag(&self.bytes, &mut pos));
+                    highest = s.highest.wrapping_add(r_sack.zigzag());
                 }
+            } else {
+                flags |= FLAG_ACK;
             }
             sack.set_highest_end(highest);
-            let seg = Segment {
-                conn,
-                seq,
-                ack_no,
-                window,
-                payload,
-                syn,
-                fin,
-                ack,
-                retx,
-                sack,
-            };
-            preds.get(conn, dir).advance(&seg);
-            last_at = at;
-            last_conn = conn;
-            trace.push(SimTime::from_nanos(at), dir, seg);
+            if sack != SackBlocks::EMPTY {
+                flags |= FLAG_SACK;
+                trace.extras_idx.push(i as u32);
+                trace.extras_sack.push(sack);
+            }
+
+            s.seq = seq + payload as u64;
+            s.ack = ack_no;
+            s.window = window;
+            if payload > 0 {
+                s.payload = payload;
+            }
+            s.highest = highest;
+
+            trace.tags.push(flags);
+            trace.conn.push(conn);
+            trace.payload.push(payload);
+            trace.seq.push(seq);
+            trace.ack_no.push(ack_no);
+            trace.window.push(window);
         }
-        debug_assert_eq!(pos, self.bytes.len(), "packed trace fully consumed");
+        for r in [r_conn, r_payload, r_seq, r_ack, r_window, r_ex, r_sack] {
+            r.finish();
+        }
+        // The first record's connection enters the cache even when it is
+        // the implicit id 0 (no TAG_CONN on record 0).
+        let first = trace.conn[0];
+        if let Err(pos) = trace.conns.binary_search(&first) {
+            trace.conns.insert(pos, first);
+        }
+
         trace
     }
 
@@ -321,26 +548,20 @@ impl PackedTrace {
     }
 }
 
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         out.push((v as u8) | 0x80);
         v >>= 7;
     }
     out.push(v as u8);
-}
-
-fn get_varint(bytes: &[u8], pos: &mut usize) -> u64 {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let b = bytes[*pos];
-        *pos += 1;
-        v |= ((b & 0x7f) as u64) << shift;
-        if b < 0x80 {
-            return v;
-        }
-        shift += 7;
-    }
 }
 
 /// Zigzag-maps a wrapping `u64` delta so small moves in either direction
@@ -350,14 +571,11 @@ fn put_zigzag(out: &mut Vec<u8>, delta: u64) {
     put_varint(out, ((d << 1) ^ (d >> 63)) as u64);
 }
 
-fn get_zigzag(bytes: &[u8], pos: &mut usize) -> u64 {
-    let z = get_varint(bytes, pos);
-    ((z >> 1) as i64 ^ -((z & 1) as i64)) as u64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::TapDirection;
+    use vstream_tcp::Segment;
 
     fn rec(
         at_ms: u64,
@@ -390,7 +608,7 @@ mod tests {
         let packed = PackedTrace::pack(trace);
         assert_eq!(packed.len(), trace.len());
         let back = packed.unpack();
-        assert_eq!(back.records(), trace.records());
+        assert_eq!(&back, trace);
         assert_eq!(back.connections(), trace.connections());
         back
     }
@@ -440,6 +658,33 @@ mod tests {
         assert!(
             p.packed_bytes() < t.len() * 10,
             "{} bytes for {} records",
+            p.packed_bytes(),
+            t.len()
+        );
+    }
+
+    #[test]
+    fn millisecond_tick_is_factored_out_of_timestamps() {
+        // All deltas here are multiples of 1 ms, so the at stream stores
+        // tiny tick counts: the whole record should pack to ~3 bytes.
+        let mut t = Trace::new();
+        for i in 0..500u64 {
+            let (at, dir, seg) = rec(
+                10 + 7 * i,
+                TapDirection::Incoming,
+                0,
+                i * 1448,
+                1,
+                65_535,
+                1448,
+            );
+            t.push(at, dir, seg);
+        }
+        let p = PackedTrace::pack(&t);
+        roundtrip(&t);
+        assert!(
+            p.packed_bytes() < t.len() * 4,
+            "{} bytes for {} records — tick scaling ineffective",
             p.packed_bytes(),
             t.len()
         );
@@ -500,5 +745,88 @@ mod tests {
             t.push(at, dir, seg);
         }
         roundtrip(&t);
+    }
+
+    #[test]
+    fn coprime_nanosecond_deltas_roundtrip() {
+        // Deltas 1 ns apart force tick = 1: the escape path where no
+        // granularity exists to factor out.
+        let mut t = Trace::new();
+        let mut now = 0u64;
+        for i in 0..50u64 {
+            now += 1 + (i % 3);
+            let (_, dir, seg) = rec(0, TapDirection::Incoming, 0, i * 10, 0, 100, 10);
+            t.push(SimTime::from_nanos(now), dir, seg);
+        }
+        roundtrip(&t);
+    }
+
+    fn small_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..20u64 {
+            let (at, dir, seg) =
+                rec(10 + i, TapDirection::Incoming, (i % 2) as u32, i * 500, 1, 65_535, 500);
+            t.push(at, dir, seg);
+        }
+        let mut sacked = rec(40, TapDirection::Outgoing, 0, 0, 5_000, 65_535, 0).2;
+        sacked.sack.push(6_000, 6_500);
+        sacked.sack.set_highest_end(6_500);
+        t.push(SimTime::from_millis(40), TapDirection::Outgoing, sacked);
+        t
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt packed trace")]
+    fn truncated_bytes_are_rejected_in_release() {
+        let mut p = PackedTrace::pack(&small_trace());
+        p.bytes.truncate(p.bytes.len() - 1);
+        let _ = p.unpack();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt packed trace")]
+    fn trailing_garbage_is_rejected_in_release() {
+        let mut p = PackedTrace::pack(&small_trace());
+        p.bytes.push(0x7f);
+        let _ = p.unpack();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt packed trace")]
+    fn truncated_stream_table_is_rejected() {
+        let mut p = PackedTrace::pack(&small_trace());
+        p.bytes.truncate(3);
+        let _ = p.unpack();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt packed trace")]
+    fn overrunning_stream_length_is_rejected() {
+        let mut p = PackedTrace::pack(&small_trace());
+        // Skip the timestamp-tick varint, then inflate the first recorded
+        // stream length far past the packed bytes.
+        let mut i = 0;
+        while p.bytes[i] & 0x80 != 0 {
+            i += 1;
+        }
+        p.bytes[i + 1] = 0xff;
+        p.bytes[i + 2] = 0x7f;
+        let _ = p.unpack();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt packed trace")]
+    fn zero_timestamp_tick_is_rejected() {
+        let mut p = PackedTrace::pack(&small_trace());
+        p.bytes[0] = 0;
+        let _ = p.unpack();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt packed trace")]
+    fn nonempty_bytes_on_empty_trace_are_rejected() {
+        let mut p = PackedTrace::pack(&Trace::new());
+        p.bytes.push(0);
+        let _ = p.unpack();
     }
 }

@@ -51,35 +51,35 @@ pub const MAX_PCAP_PAYLOAD: u32 = (u16::MAX as u32) - (IP_HEADER_LEN + TCP_HEADE
 pub fn write_pcap<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     write_global_header(&mut w)?;
     for r in trace.records() {
-        if r.seg.payload > MAX_PCAP_PAYLOAD {
+        if r.payload() > MAX_PCAP_PAYLOAD {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!(
                     "segment payload {} exceeds the {} bytes an IPv4 total-length field can describe",
-                    r.seg.payload, MAX_PCAP_PAYLOAD
+                    r.payload(), MAX_PCAP_PAYLOAD
                 ),
             ));
         }
-        let (src_ip, dst_ip, src_port, dst_port) = match r.dir {
+        let (src_ip, dst_ip, src_port, dst_port) = match r.dir() {
             TapDirection::Incoming => (
                 SERVER_IP,
                 CLIENT_IP,
                 SERVER_PORT,
-                client_port(r.seg.conn),
+                client_port(r.conn()),
             ),
             TapDirection::Outgoing => (
                 CLIENT_IP,
                 SERVER_IP,
-                client_port(r.seg.conn),
+                client_port(r.conn()),
                 SERVER_PORT,
             ),
         };
 
-        let total_len = IP_HEADER_LEN + TCP_HEADER_LEN + r.seg.payload as usize;
+        let total_len = IP_HEADER_LEN + TCP_HEADER_LEN + r.payload() as usize;
         let snap_len = IP_HEADER_LEN + TCP_HEADER_LEN;
 
         // Per-packet header.
-        let nanos = r.at.as_nanos();
+        let nanos = r.at().as_nanos();
         w.write_all(&((nanos / 1_000_000_000) as u32).to_le_bytes())?;
         w.write_all(&((nanos % 1_000_000_000 / 1_000) as u32).to_le_bytes())?;
         w.write_all(&(snap_len as u32).to_le_bytes())?;
@@ -101,21 +101,21 @@ pub fn write_pcap<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
         let mut tcp = [0u8; TCP_HEADER_LEN];
         tcp[0..2].copy_from_slice(&src_port.to_be_bytes());
         tcp[2..4].copy_from_slice(&dst_port.to_be_bytes());
-        tcp[4..8].copy_from_slice(&(r.seg.seq as u32).to_be_bytes());
-        tcp[8..12].copy_from_slice(&(r.seg.ack_no as u32).to_be_bytes());
+        tcp[4..8].copy_from_slice(&(r.seq() as u32).to_be_bytes());
+        tcp[8..12].copy_from_slice(&(r.ack_no() as u32).to_be_bytes());
         tcp[12] = (TCP_HEADER_LEN as u8 / 4) << 4; // data offset
         let mut flags = 0u8;
-        if r.seg.fin {
+        if r.fin() {
             flags |= 0x01;
         }
-        if r.seg.syn {
+        if r.syn() {
             flags |= 0x02;
         }
-        if r.seg.ack {
+        if r.ack() {
             flags |= 0x10;
         }
         tcp[13] = flags;
-        let window = (r.seg.window >> WINDOW_SCALE).min(u16::MAX as u64) as u16;
+        let window = (r.window() >> WINDOW_SCALE).min(u16::MAX as u64) as u16;
         tcp[14..16].copy_from_slice(&window.to_be_bytes());
         // Checksum left zero: the simulator has no payload bytes to sum, and
         // analysers treat zero as "offloaded", as with real captures.

@@ -1,22 +1,65 @@
 //! A captured packet trace and the time-series extractions the paper's
 //! figures are built from.
+//!
+//! # Columnar layout
+//!
+//! The trace is stored as a structure-of-arrays: one dense column per
+//! segment field (timestamps, tag bits, connection ids, payload lengths,
+//! sequence/ack/window metadata) plus a sparse side table for the rare
+//! records that carry SACK state. Every figure in the paper is a reduction
+//! that reads one or two fields of each packet — `download_series` touches
+//! `(tags, conn, seq, payload, at)`, the ON/OFF detector `(tags, at,
+//! payload)` — so the scans pull only the bytes they consume through cache
+//! instead of striding across ~120-byte records. The accessor API is
+//! preserved through [`PacketRef`], a lightweight per-record view that
+//! reads individual columns on demand and can materialise a full
+//! [`PacketRecord`] when a consumer genuinely needs every field.
 
 use std::collections::BTreeMap;
 
 use vstream_sim::SimTime;
+use vstream_tcp::segment::SackBlocks;
 use vstream_tcp::Segment;
 
 use crate::record::{PacketRecord, TapDirection};
 
-/// A chronologically ordered packet capture taken at the client.
-#[derive(Clone, Debug, Default)]
+/// Per-record flag bits held in the `tags` column: direction plus the four
+/// TCP flags, and a marker for records with an entry in the SACK side
+/// table (so the common case skips the side-table lookup entirely).
+pub(crate) const FLAG_OUTGOING: u8 = 1 << 0;
+pub(crate) const FLAG_SYN: u8 = 1 << 1;
+pub(crate) const FLAG_FIN: u8 = 1 << 2;
+pub(crate) const FLAG_ACK: u8 = 1 << 3;
+pub(crate) const FLAG_RETX: u8 = 1 << 4;
+pub(crate) const FLAG_SACK: u8 = 1 << 5;
+
+/// A chronologically ordered packet capture taken at the client, stored
+/// column-wise (see the module docs).
+///
+/// All columns are parallel: index `i` across `at`/`tags`/`conn`/`payload`/
+/// `seq`/`ack_no`/`window` describes one captured packet. SACK state lives
+/// in `(extras_idx, extras_sack)`, sorted by record index; records without
+/// an entry carry [`SackBlocks::EMPTY`]. Two traces compare equal iff they
+/// hold the same records in the same order (the side table is canonical:
+/// only non-empty SACK state is stored).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
-    records: Vec<PacketRecord>,
+    pub(crate) at: Vec<SimTime>,
+    pub(crate) tags: Vec<u8>,
+    pub(crate) conn: Vec<u32>,
+    pub(crate) payload: Vec<u32>,
+    pub(crate) seq: Vec<u64>,
+    pub(crate) ack_no: Vec<u64>,
+    pub(crate) window: Vec<u64>,
+    /// Record indices (sorted, ascending) that carry non-empty SACK state.
+    pub(crate) extras_idx: Vec<u32>,
+    /// The SACK state for each entry of `extras_idx`, in the same order.
+    pub(crate) extras_sack: Vec<SackBlocks>,
     /// Sorted, deduplicated connection ids — maintained incrementally on
     /// `push` so [`Trace::connections`] (called repeatedly inside analysis
     /// loops) never re-scans the capture. A session touches a handful of
     /// connections, so the membership probe is a short binary search.
-    conns: Vec<u32>,
+    pub(crate) conns: Vec<u32>,
 }
 
 impl Trace {
@@ -30,17 +73,27 @@ impl Trace {
     /// A 180 s capture at a fast vantage point holds hundreds of thousands
     /// of records; pre-sizing (from `NetworkProfile::expected_capture_packets`
     /// or the previous session's length) avoids the doubling reallocations
-    /// while recording.
+    /// while recording. Every hot column is pre-sized; the SACK side table
+    /// is not (it stays tiny on healthy paths).
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
-            records: Vec::with_capacity(capacity),
+            at: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            conn: Vec::with_capacity(capacity),
+            payload: Vec::with_capacity(capacity),
+            seq: Vec::with_capacity(capacity),
+            ack_no: Vec::with_capacity(capacity),
+            window: Vec::with_capacity(capacity),
+            extras_idx: Vec::new(),
+            extras_sack: Vec::new(),
             conns: Vec::new(),
         }
     }
 
-    /// Allocated record capacity.
+    /// Allocated record capacity (of the timestamp column; all hot columns
+    /// are allocated together).
     pub fn capacity(&self) -> usize {
-        self.records.capacity()
+        self.at.capacity()
     }
 
     /// Appends a captured packet.
@@ -50,28 +103,70 @@ impl Trace {
     /// produced by a monotone event loop.
     pub fn push(&mut self, at: SimTime, dir: TapDirection, seg: Segment) {
         debug_assert!(
-            self.records.last().is_none_or(|r| r.at <= at),
+            self.at.last().is_none_or(|&t| t <= at),
             "capture timestamps must be monotone"
         );
         if let Err(pos) = self.conns.binary_search(&seg.conn) {
             self.conns.insert(pos, seg.conn);
         }
-        self.records.push(PacketRecord { at, dir, seg });
+        let mut tag = 0u8;
+        if dir == TapDirection::Outgoing {
+            tag |= FLAG_OUTGOING;
+        }
+        if seg.syn {
+            tag |= FLAG_SYN;
+        }
+        if seg.fin {
+            tag |= FLAG_FIN;
+        }
+        if seg.ack {
+            tag |= FLAG_ACK;
+        }
+        if seg.retx {
+            tag |= FLAG_RETX;
+        }
+        if seg.sack != SackBlocks::EMPTY {
+            tag |= FLAG_SACK;
+            self.extras_idx.push(self.at.len() as u32);
+            self.extras_sack.push(seg.sack);
+        }
+        self.at.push(at);
+        self.tags.push(tag);
+        self.conn.push(seg.conn);
+        self.payload.push(seg.payload);
+        self.seq.push(seg.seq);
+        self.ack_no.push(seg.ack_no);
+        self.window.push(seg.window);
     }
 
     /// Number of captured packets.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.at.len()
     }
 
     /// True if nothing was captured.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.at.is_empty()
     }
 
-    /// All records, in capture order.
-    pub fn records(&self) -> &[PacketRecord] {
-        &self.records
+    /// The record at `idx`, as a lightweight column view.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn get(&self, idx: usize) -> PacketRef<'_> {
+        assert!(idx < self.len(), "record index {idx} out of bounds");
+        PacketRef { trace: self, idx }
+    }
+
+    /// All records in capture order, as lightweight [`PacketRef`] views.
+    /// Field accessors read individual columns, so a consumer that looks at
+    /// two fields pulls two columns through cache — not whole records.
+    pub fn records(&self) -> Records<'_> {
+        Records {
+            trace: self,
+            front: 0,
+            back: self.len(),
+        }
     }
 
     /// Sorted list of connection ids present in the trace.
@@ -79,21 +174,26 @@ impl Trace {
         &self.conns
     }
 
-    /// A sub-trace containing only the given connection.
-    pub fn filter_connection(&self, conn: u32) -> Trace {
-        let records: Vec<PacketRecord> = self
-            .records
-            .iter()
-            .filter(|r| r.seg.conn == conn)
-            .copied()
+    /// A borrowed per-connection view of this trace.
+    ///
+    /// The view holds the record *indices* of the connection (4 bytes per
+    /// matching packet) and reads everything else out of the parent's
+    /// columns — no record copies, unlike the owned sub-trace this method
+    /// used to build.
+    pub fn filter_connection(&self, conn: u32) -> ConnectionView<'_> {
+        let idx: Vec<u32> = (0..self.len() as u32)
+            .filter(|&i| self.conn[i as usize] == conn)
             .collect();
-        let conns = if records.is_empty() { Vec::new() } else { vec![conn] };
-        Trace { records, conns }
+        ConnectionView {
+            trace: self,
+            conn,
+            idx,
+        }
     }
 
     /// Incoming data packets (video payload), in order.
-    pub fn incoming_data(&self) -> impl Iterator<Item = &PacketRecord> {
-        self.records.iter().filter(|r| r.is_incoming_data())
+    pub fn incoming_data(&self) -> impl Iterator<Item = PacketRef<'_>> {
+        self.records().filter(|r| r.is_incoming_data())
     }
 
     /// Cumulative *unique* payload bytes downloaded over time, summed across
@@ -109,19 +209,30 @@ impl Trace {
         // BTreeMap. The output is presized to the record count (an upper
         // bound: only incoming data that advances a high-water mark emits a
         // point).
+        let n = self.len();
+        let (tags, conn, payload, seq, at) = (
+            &self.tags[..n],
+            &self.conn[..n],
+            &self.payload[..n],
+            &self.seq[..n],
+            &self.at[..n],
+        );
         let mut high = vec![0u64; self.conns.len()];
         let mut total = 0u64;
-        let mut out = Vec::with_capacity(self.records.len());
-        for r in self.incoming_data() {
-            let end = r.seg.seq_end();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if tags[i] & FLAG_OUTGOING != 0 || payload[i] == 0 {
+                continue;
+            }
+            let end = seq[i] + payload[i] as u64;
             let idx = self
                 .conns
-                .binary_search(&r.seg.conn)
+                .binary_search(&conn[i])
                 .expect("conns cache tracks every pushed record");
             if end > high[idx] {
                 total += end - high[idx];
                 high[idx] = end;
-                out.push((r.at, total));
+                out.push((at[i], total));
             }
         }
         out
@@ -130,11 +241,16 @@ impl Trace {
     /// Cumulative *raw* payload bytes (including retransmissions) — the
     /// network-load view used when quantifying overhead.
     pub fn raw_download_series(&self) -> Vec<(SimTime, u64)> {
+        let n = self.len();
+        let (tags, payload, at) = (&self.tags[..n], &self.payload[..n], &self.at[..n]);
         let mut total = 0u64;
-        let mut out = Vec::with_capacity(self.records.len());
-        for r in self.incoming_data() {
-            total += r.seg.payload as u64;
-            out.push((r.at, total));
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if tags[i] & FLAG_OUTGOING != 0 || payload[i] == 0 {
+                continue;
+            }
+            total += payload[i] as u64;
+            out.push((at[i], total));
         }
         out
     }
@@ -143,13 +259,23 @@ impl Trace {
     /// [`Trace::download_series`]) — computed in one pass, without
     /// materialising the series.
     pub fn total_downloaded(&self) -> u64 {
+        let n = self.len();
+        let (tags, conn, payload, seq) = (
+            &self.tags[..n],
+            &self.conn[..n],
+            &self.payload[..n],
+            &self.seq[..n],
+        );
         let mut high = vec![0u64; self.conns.len()];
         let mut total = 0u64;
-        for r in self.incoming_data() {
-            let end = r.seg.seq_end();
+        for i in 0..n {
+            if tags[i] & FLAG_OUTGOING != 0 || payload[i] == 0 {
+                continue;
+            }
+            let end = seq[i] + payload[i] as u64;
             let idx = self
                 .conns
-                .binary_search(&r.seg.conn)
+                .binary_search(&conn[i])
                 .expect("conns cache tracks every pushed record");
             if end > high[idx] {
                 total += end - high[idx];
@@ -161,15 +287,28 @@ impl Trace {
 
     /// Total raw payload bytes including retransmissions.
     pub fn total_raw_downloaded(&self) -> u64 {
-        self.incoming_data().map(|r| r.seg.payload as u64).sum()
+        let n = self.len();
+        let (tags, payload) = (&self.tags[..n], &self.payload[..n]);
+        let mut total = 0u64;
+        for i in 0..n {
+            if tags[i] & FLAG_OUTGOING == 0 {
+                total += payload[i] as u64;
+            }
+        }
+        total
     }
 
     /// Fraction of incoming data segments marked as retransmissions.
     pub fn retransmission_rate(&self) -> f64 {
+        let n = self.len();
+        let (tags, payload) = (&self.tags[..n], &self.payload[..n]);
         let (mut total, mut retx) = (0u64, 0u64);
-        for r in self.incoming_data() {
+        for i in 0..n {
+            if tags[i] & FLAG_OUTGOING != 0 || payload[i] == 0 {
+                continue;
+            }
             total += 1;
-            if r.seg.retx {
+            if tags[i] & FLAG_RETX != 0 {
                 retx += 1;
             }
         }
@@ -184,29 +323,82 @@ impl Trace {
     /// read from outgoing ACKs — the "Receive Window" axis of Figs. 2b
     /// and 6a.
     pub fn recv_window_series(&self, conn: u32) -> Vec<(SimTime, u64)> {
-        self.records
-            .iter()
-            .filter(|r| r.dir == TapDirection::Outgoing && r.seg.conn == conn && r.seg.ack)
-            .map(|r| (r.at, r.seg.window))
-            .collect()
+        const WANT: u8 = FLAG_OUTGOING | FLAG_ACK;
+        let n = self.len();
+        let (tags, conns, window, at) = (
+            &self.tags[..n],
+            &self.conn[..n],
+            &self.window[..n],
+            &self.at[..n],
+        );
+        let mut out = Vec::new();
+        for i in 0..n {
+            if tags[i] & WANT == WANT && conns[i] == conn {
+                out.push((at[i], window[i]));
+            }
+        }
+        out
     }
 
     /// Capture duration from first to last packet.
     pub fn duration(&self) -> vstream_sim::SimDuration {
-        match (self.records.first(), self.records.last()) {
-            (Some(a), Some(b)) => b.at.duration_since(a.at),
+        match (self.at.first(), self.at.last()) {
+            (Some(&a), Some(&b)) => b.duration_since(a),
             _ => vstream_sim::SimDuration::ZERO,
         }
     }
 
     /// Merges another trace into this one, keeping chronological order.
     pub fn merge(&mut self, other: &Trace) {
-        self.records.extend_from_slice(&other.records);
-        self.records.sort_by_key(|r| r.at);
+        let base = self.len() as u32;
+        self.at.extend_from_slice(&other.at);
+        self.tags.extend_from_slice(&other.tags);
+        self.conn.extend_from_slice(&other.conn);
+        self.payload.extend_from_slice(&other.payload);
+        self.seq.extend_from_slice(&other.seq);
+        self.ack_no.extend_from_slice(&other.ack_no);
+        self.window.extend_from_slice(&other.window);
+        self.extras_idx
+            .extend(other.extras_idx.iter().map(|&i| base + i));
+        self.extras_sack.extend_from_slice(&other.extras_sack);
         for &conn in &other.conns {
             if let Err(pos) = self.conns.binary_search(&conn) {
                 self.conns.insert(pos, conn);
             }
+        }
+
+        // Stable sort permutation by timestamp, applied to every column.
+        let n = self.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| self.at[i as usize]);
+        if perm.windows(2).all(|w| w[0] < w[1]) {
+            return; // already chronological (the common append-at-end case)
+        }
+        apply_perm(&perm, &mut self.at);
+        apply_perm(&perm, &mut self.tags);
+        apply_perm(&perm, &mut self.conn);
+        apply_perm(&perm, &mut self.payload);
+        apply_perm(&perm, &mut self.seq);
+        apply_perm(&perm, &mut self.ack_no);
+        apply_perm(&perm, &mut self.window);
+        // Remap side-table indices through the inverse permutation, then
+        // restore ascending order.
+        let mut inv = vec![0u32; n];
+        for (new_pos, &old_pos) in perm.iter().enumerate() {
+            inv[old_pos as usize] = new_pos as u32;
+        }
+        let mut entries: Vec<(u32, SackBlocks)> = self
+            .extras_idx
+            .iter()
+            .zip(&self.extras_sack)
+            .map(|(&i, &s)| (inv[i as usize], s))
+            .collect();
+        entries.sort_by_key(|&(i, _)| i);
+        self.extras_idx.clear();
+        self.extras_sack.clear();
+        for (i, s) in entries {
+            self.extras_idx.push(i);
+            self.extras_sack.push(s);
         }
     }
 
@@ -215,19 +407,23 @@ impl Trace {
     /// capture, as a tool like Wireshark's IO graph would draw it.
     pub fn throughput_timeline(&self, bin: vstream_sim::SimDuration) -> Vec<(SimTime, f64)> {
         assert!(!bin.is_zero(), "bin width must be positive");
-        let Some(first) = self.records.first() else {
+        let Some(&t0) = self.at.first() else {
             return Vec::new();
         };
-        let t0 = first.at;
         // The capture is chronological, so the last record bounds the bin
         // count; one up-front resize replaces incremental growth.
-        let last = self.records.last().expect("non-empty checked above");
-        let max_idx = (last.at.duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
+        let last = *self.at.last().expect("non-empty checked above");
+        let max_idx = (last.duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
         let mut bins: Vec<u64> = vec![0; max_idx + 1];
         let mut used = 0usize;
-        for r in self.incoming_data() {
-            let idx = (r.at.duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
-            bins[idx] += r.seg.payload as u64;
+        let n = self.len();
+        let (tags, payload, at) = (&self.tags[..n], &self.payload[..n], &self.at[..n]);
+        for i in 0..n {
+            if tags[i] & FLAG_OUTGOING != 0 || payload[i] == 0 {
+                continue;
+            }
+            let idx = (at[i].duration_since(t0).as_nanos() / bin.as_nanos()) as usize;
+            bins[idx] += payload[i] as u64;
             used = used.max(idx + 1);
         }
         bins.truncate(used);
@@ -249,19 +445,22 @@ impl Trace {
     pub fn connection_summaries(&self) -> Vec<ConnectionSummary> {
         let mut map: BTreeMap<u32, ConnectionSummary> = BTreeMap::new();
         let mut high: BTreeMap<u32, u64> = BTreeMap::new();
-        for r in &self.records {
-            let e = map.entry(r.seg.conn).or_insert(ConnectionSummary {
-                conn: r.seg.conn,
-                first_seen: r.at,
-                last_seen: r.at,
+        let n = self.len();
+        for i in 0..n {
+            let conn = self.conn[i];
+            let at = self.at[i];
+            let e = map.entry(conn).or_insert(ConnectionSummary {
+                conn,
+                first_seen: at,
+                last_seen: at,
                 unique_bytes: 0,
                 packets: 0,
             });
-            e.last_seen = r.at;
+            e.last_seen = at;
             e.packets += 1;
-            if r.is_incoming_data() {
-                let h = high.entry(r.seg.conn).or_insert(0);
-                let end = r.seg.seq_end();
+            if self.tags[i] & FLAG_OUTGOING == 0 && self.payload[i] > 0 {
+                let h = high.entry(conn).or_insert(0);
+                let end = self.seq[i] + self.payload[i] as u64;
                 if end > *h {
                     e.unique_bytes += end - *h;
                     *h = end;
@@ -269,6 +468,288 @@ impl Trace {
             }
         }
         map.into_values().collect()
+    }
+
+    /// The SACK state of record `idx` — a side-table probe, only meaningful
+    /// for records whose tag carries [`FLAG_SACK`].
+    fn sack_of(&self, idx: usize) -> SackBlocks {
+        if self.tags[idx] & FLAG_SACK == 0 {
+            return SackBlocks::EMPTY;
+        }
+        let pos = self
+            .extras_idx
+            .binary_search(&(idx as u32))
+            .expect("FLAG_SACK record has a side-table entry");
+        self.extras_sack[pos]
+    }
+}
+
+/// Gathers `col` through the permutation `perm` (new index -> old index).
+fn apply_perm<T: Copy>(perm: &[u32], col: &mut Vec<T>) {
+    let gathered: Vec<T> = perm.iter().map(|&i| col[i as usize]).collect();
+    *col = gathered;
+}
+
+/// A lightweight view of one captured packet inside a [`Trace`].
+///
+/// Accessors read individual columns, so consumers touch only the bytes
+/// they use; [`PacketRef::record`] and [`PacketRef::segment`] materialise
+/// the full AoS forms for the few call sites that need every field.
+#[derive(Clone, Copy)]
+pub struct PacketRef<'a> {
+    trace: &'a Trace,
+    idx: usize,
+}
+
+impl<'a> PacketRef<'a> {
+    /// Index of this record within the capture.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Capture timestamp.
+    pub fn at(&self) -> SimTime {
+        self.trace.at[self.idx]
+    }
+
+    /// Direction relative to the client.
+    pub fn dir(&self) -> TapDirection {
+        if self.trace.tags[self.idx] & FLAG_OUTGOING != 0 {
+            TapDirection::Outgoing
+        } else {
+            TapDirection::Incoming
+        }
+    }
+
+    /// Connection id.
+    pub fn conn(&self) -> u32 {
+        self.trace.conn[self.idx]
+    }
+
+    /// Payload length in bytes.
+    pub fn payload(&self) -> u32 {
+        self.trace.payload[self.idx]
+    }
+
+    /// First byte offset of the payload within the sender's stream.
+    pub fn seq(&self) -> u64 {
+        self.trace.seq[self.idx]
+    }
+
+    /// Offset one past the last payload byte.
+    pub fn seq_end(&self) -> u64 {
+        self.seq() + self.payload() as u64
+    }
+
+    /// Cumulative acknowledgement number.
+    pub fn ack_no(&self) -> u64 {
+        self.trace.ack_no[self.idx]
+    }
+
+    /// Advertised receive window in bytes.
+    pub fn window(&self) -> u64 {
+        self.trace.window[self.idx]
+    }
+
+    /// SYN flag.
+    pub fn syn(&self) -> bool {
+        self.trace.tags[self.idx] & FLAG_SYN != 0
+    }
+
+    /// FIN flag.
+    pub fn fin(&self) -> bool {
+        self.trace.tags[self.idx] & FLAG_FIN != 0
+    }
+
+    /// ACK flag.
+    pub fn ack(&self) -> bool {
+        self.trace.tags[self.idx] & FLAG_ACK != 0
+    }
+
+    /// Retransmission marker.
+    pub fn retx(&self) -> bool {
+        self.trace.tags[self.idx] & FLAG_RETX != 0
+    }
+
+    /// SACK blocks (a side-table probe; free for the common no-SACK case).
+    pub fn sack(&self) -> SackBlocks {
+        self.trace.sack_of(self.idx)
+    }
+
+    /// True if this packet carries payload.
+    pub fn has_payload(&self) -> bool {
+        self.payload() > 0
+    }
+
+    /// True if this packet carries video payload toward the client.
+    pub fn is_incoming_data(&self) -> bool {
+        self.trace.tags[self.idx] & FLAG_OUTGOING == 0 && self.payload() > 0
+    }
+
+    /// Materialises the full segment (all columns plus the SACK side
+    /// table).
+    pub fn segment(&self) -> Segment {
+        let tags = self.trace.tags[self.idx];
+        Segment {
+            conn: self.conn(),
+            seq: self.seq(),
+            ack_no: self.ack_no(),
+            window: self.window(),
+            payload: self.payload(),
+            syn: tags & FLAG_SYN != 0,
+            fin: tags & FLAG_FIN != 0,
+            ack: tags & FLAG_ACK != 0,
+            retx: tags & FLAG_RETX != 0,
+            sack: self.sack(),
+        }
+    }
+
+    /// Materialises the full AoS record.
+    pub fn record(&self) -> PacketRecord {
+        PacketRecord {
+            at: self.at(),
+            dir: self.dir(),
+            seg: self.segment(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PacketRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.record().fmt(f)
+    }
+}
+
+impl PartialEq for PacketRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.record() == other.record()
+    }
+}
+
+/// Iterator over a trace's records as [`PacketRef`] views.
+#[derive(Clone)]
+pub struct Records<'a> {
+    trace: &'a Trace,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = PacketRef<'a>;
+
+    fn next(&mut self) -> Option<PacketRef<'a>> {
+        if self.front >= self.back {
+            return None;
+        }
+        let r = PacketRef {
+            trace: self.trace,
+            idx: self.front,
+        };
+        self.front += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for Records<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(PacketRef {
+            trace: self.trace,
+            idx: self.back,
+        })
+    }
+}
+
+impl ExactSizeIterator for Records<'_> {}
+
+/// A borrowed per-connection view of a [`Trace`].
+///
+/// Holds the parent trace plus the record indices belonging to one
+/// connection — 4 bytes per matching packet instead of a full record copy,
+/// so per-connection analysis passes stop allocating O(packets) sub-traces.
+pub struct ConnectionView<'a> {
+    trace: &'a Trace,
+    conn: u32,
+    idx: Vec<u32>,
+}
+
+impl<'a> ConnectionView<'a> {
+    /// The connection this view selects.
+    pub fn conn(&self) -> u32 {
+        self.conn
+    }
+
+    /// Number of packets on this connection.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True if the connection never appears in the parent trace.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Connection ids present in the view (zero or one).
+    pub fn connections(&self) -> &[u32] {
+        if self.idx.is_empty() {
+            &[]
+        } else {
+            std::slice::from_ref(&self.conn)
+        }
+    }
+
+    /// The view's records, in capture order.
+    pub fn records(&self) -> impl Iterator<Item = PacketRef<'a>> + '_ {
+        let trace = self.trace;
+        self.idx.iter().map(move |&i| PacketRef {
+            trace,
+            idx: i as usize,
+        })
+    }
+
+    /// Total unique bytes downloaded on this connection (sequence
+    /// high-water mark over the incoming data packets).
+    pub fn total_downloaded(&self) -> u64 {
+        let mut high = 0u64;
+        let mut total = 0u64;
+        for r in self.records() {
+            if !r.is_incoming_data() {
+                continue;
+            }
+            let end = r.seq_end();
+            if end > high {
+                total += end - high;
+                high = end;
+            }
+        }
+        total
+    }
+
+    /// Duration from the connection's first to last packet.
+    pub fn duration(&self) -> vstream_sim::SimDuration {
+        match (self.idx.first(), self.idx.last()) {
+            (Some(&a), Some(&b)) => self.trace.at[b as usize].duration_since(self.trace.at[a as usize]),
+            _ => vstream_sim::SimDuration::ZERO,
+        }
+    }
+
+    /// Materialises the view as an owned [`Trace`] (the old
+    /// `filter_connection` behaviour), for callers that need to hand a
+    /// standalone capture somewhere.
+    pub fn to_trace(&self) -> Trace {
+        let mut t = Trace::with_capacity(self.len());
+        for r in self.records() {
+            t.push(r.at(), r.dir(), r.segment());
+        }
+        t
     }
 }
 
@@ -291,7 +772,6 @@ pub struct ConnectionSummary {
 mod tests {
     use super::*;
     use vstream_sim::SimDuration;
-    use vstream_tcp::segment::SackBlocks;
 
     fn seg(conn: u32, seq: u64, payload: u32) -> Segment {
         Segment {
@@ -375,7 +855,24 @@ mod tests {
         t.push(at(2), TapDirection::Incoming, seg(2, 0, 100));
         let f = t.filter_connection(2);
         assert_eq!(f.len(), 1);
-        assert_eq!(f.records()[0].seg.conn, 2);
+        assert_eq!(f.records().next().unwrap().conn(), 2);
+        assert_eq!(f.total_downloaded(), 100);
+    }
+
+    #[test]
+    fn connection_view_materialises_to_trace() {
+        let mut t = Trace::new();
+        t.push(at(1), TapDirection::Incoming, seg(1, 0, 100));
+        let mut sacked = seg(2, 0, 0);
+        sacked.sack.push(500, 700);
+        sacked.sack.set_highest_end(700);
+        t.push(at(2), TapDirection::Outgoing, sacked);
+        t.push(at(3), TapDirection::Incoming, seg(2, 0, 300));
+        let sub = t.filter_connection(2).to_trace();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.connections(), vec![2]);
+        assert_eq!(sub.get(0).sack().highest_end(), 700, "side table follows");
+        assert_eq!(sub.total_downloaded(), 300);
     }
 
     #[test]
@@ -389,7 +886,31 @@ mod tests {
         b.push(at(30), TapDirection::Incoming, seg(2, 0, 100));
         a.merge(&b);
         assert_eq!(a.len(), 3);
-        assert_eq!(a.records()[1].seg.conn, 2, "merge must re-sort by time");
+        assert_eq!(a.get(1).conn(), 2, "merge must re-sort by time");
+    }
+
+    #[test]
+    fn merge_reorders_side_table_entries() {
+        // The SACK-bearing record arrives in the merged trace's middle; its
+        // side-table entry must follow it through the permutation.
+        let mut a = Trace::new();
+        a.push(at(10), TapDirection::Incoming, seg(1, 0, 100));
+        let mut late = seg(1, 100, 100);
+        late.sack.push(900, 1000);
+        late.sack.set_highest_end(1000);
+        a.push(at(50), TapDirection::Incoming, late);
+
+        let mut b = Trace::new();
+        let mut mid = seg(2, 0, 0);
+        mid.sack.push(300, 400);
+        mid.sack.set_highest_end(400);
+        b.push(at(30), TapDirection::Outgoing, mid);
+        a.merge(&b);
+
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1).sack().highest_end(), 400);
+        assert_eq!(a.get(2).sack().highest_end(), 1000);
+        assert_eq!(a.get(0).sack(), SackBlocks::EMPTY);
     }
 
     #[test]
@@ -454,5 +975,50 @@ mod tests {
         assert_eq!(t.total_downloaded(), 0);
         assert_eq!(t.retransmission_rate(), 0.0);
         assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn packet_ref_roundtrips_every_field() {
+        let mut t = Trace::new();
+        let mut s = seg(7, 1000, 1448);
+        s.syn = false;
+        s.fin = true;
+        s.retx = true;
+        s.ack_no = 555;
+        s.window = 1 << 33;
+        s.sack.push(2000, 3000);
+        s.sack.set_highest_end(3000);
+        t.push(at(42), TapDirection::Outgoing, s);
+        let r = t.get(0);
+        assert_eq!(r.at(), at(42));
+        assert_eq!(r.dir(), TapDirection::Outgoing);
+        assert_eq!(r.segment(), s);
+        let rec = r.record();
+        assert_eq!(rec.seg, s);
+        assert!(rec.seg.fin && rec.seg.retx && rec.seg.ack);
+        assert_eq!(r.seq_end(), 1000 + 1448);
+    }
+
+    #[test]
+    fn records_iterator_is_exact_size_and_double_ended() {
+        let mut t = Trace::new();
+        for i in 0..5u64 {
+            t.push(at(i), TapDirection::Incoming, seg(1, i * 10, 10));
+        }
+        let it = t.records();
+        assert_eq!(it.len(), 5);
+        let back: Vec<u64> = t.records().rev().map(|r| r.seq()).collect();
+        assert_eq!(back, vec![40, 30, 20, 10, 0]);
+    }
+
+    #[test]
+    fn trace_equality_is_recordwise() {
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        a.push(at(1), TapDirection::Incoming, seg(1, 0, 100));
+        b.push(at(1), TapDirection::Incoming, seg(1, 0, 100));
+        assert_eq!(a, b);
+        b.push(at(2), TapDirection::Outgoing, seg(1, 0, 0));
+        assert_ne!(a, b);
     }
 }

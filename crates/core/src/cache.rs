@@ -19,9 +19,9 @@
 //! `figures::cell_specs` — enter the store; one-off sessions (Table 1's
 //! bespoke videos, the ablation harnesses) would retain memory that no
 //! later driver ever reads. And a retained trace is stored as a
-//! delta-compressed [`PackedTrace`] (~20× smaller than raw records), not as
-//! live `Vec<PacketRecord>` pages: freshly faulted memory is far more
-//! expensive than the arithmetic that rebuilds a trace from deltas, so
+//! delta-compressed [`PackedTrace`] (~30× smaller than raw records), not as
+//! live column pages: freshly faulted memory is far more expensive than
+//! the arithmetic that rebuilds a trace's columns from deltas, so
 //! packing is what turns the cache from a memory-bound loss into a
 //! wall-clock win. The `cache_bytes_retained` counter reports the packed
 //! footprint.

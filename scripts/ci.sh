@@ -9,7 +9,11 @@
 #   3. metrics neutrality: a figure slice rendered with and without
 #      --metrics must produce byte-identical CSVs, and the ledger must be
 #      well-formed JSON carrying its schema_version key
-#   4. a quick-mode pass over every benchmark, so a change that breaks a
+#   4. the packed-format roundtrip suite in release mode: the columnar
+#      AoS-vs-SoA equivalence and pack/unpack exactness tests, compiled
+#      with release assertions so the checked truncation/corruption paths
+#      in PackedTrace::unpack are exercised exactly as production runs them
+#   5. a quick-mode pass over every benchmark, so a change that breaks a
 #      bench harness (or makes a substrate pathologically slow) fails CI
 #      rather than the next person's perf run
 #
@@ -38,7 +42,10 @@ diff -r "$obs_out/plain" "$obs_out/metered"
 python3 -m json.tool "$obs_out/metrics.json" > /dev/null
 grep -q '"schema_version"' "$obs_out/metrics.json"
 
+echo "==> packed-format roundtrip (release mode: checked unpack corruption paths)"
+cargo test --offline --release --quiet -p vstream-capture
+
 echo "==> bench smoke (quick mode, no JSON ledger)"
 cargo bench --offline -p vstream-bench --bench substrates -- --quick
 
-echo "OK: build, tests, determinism, metrics neutrality, and bench smoke all passed"
+echo "OK: build, tests, determinism, metrics neutrality, roundtrip, and bench smoke all passed"

@@ -50,7 +50,7 @@ fn cache_is_transparent_selective_and_single_execution() {
     let s = spec(301).shared();
     let first = s.run().expect("valid cell");
     let second = s.run().expect("valid cell");
-    assert_eq!(first.trace.records(), second.trace.records());
+    assert_eq!(first.trace, second.trace);
     assert_eq!(first.trace.connections(), second.trace.connections());
     assert_eq!(first.logic.read_total(), second.logic.read_total());
     assert_eq!(first.connections, second.connections);
@@ -88,7 +88,7 @@ fn cache_is_transparent_selective_and_single_execution() {
     cache::install();
     let batch = vec![spec(302).shared(), spec(303).shared(), spec(302).shared()];
     let outs = run_many_jobs(&batch, 2);
-    let t = |i: usize| outs[i].as_ref().expect("valid cell").trace.records();
+    let t = |i: usize| &outs[i].as_ref().expect("valid cell").trace;
     assert_eq!(t(0), t(2), "duplicate indices must agree");
     let ledger = collector::take().expect("metered run");
     assert_eq!(ledger.totals.counter(Counter::CacheMisses), 2);
@@ -103,8 +103,8 @@ fn cache_is_transparent_selective_and_single_execution() {
     let plain = vec![spec(304), spec(304)];
     let outs = run_many_jobs(&plain, 1);
     assert_eq!(
-        outs[0].as_ref().expect("valid").trace.records(),
-        outs[1].as_ref().expect("valid").trace.records(),
+        outs[0].as_ref().expect("valid").trace,
+        outs[1].as_ref().expect("valid").trace,
         "purity holds with or without the cache"
     );
     let ledger = collector::take().expect("metered run");
