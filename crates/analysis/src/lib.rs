@@ -16,15 +16,26 @@
 //!   the first RTT of each ON period (Fig. 9).
 //! * **Statistics** ([`stats`]) — empirical CDFs, quantiles, and the Pearson
 //!   correlations quoted throughout Section 5.
+//!
+//! Every reduction also has a streaming form in [`fold`]: incremental
+//! operators behind the [`vstream_capture::PacketSink`] tap that keep
+//! per-flow state only (O(flows), not O(packets)) and produce results
+//! identical to the trace scans — so figures can be computed without ever
+//! materialising a capture.
 
 pub mod ackclock;
 pub mod classify;
+pub mod fold;
 pub mod onoff;
 pub mod phases;
 pub mod stats;
 
 pub use ackclock::first_rtt_bytes;
-pub use classify::{classify, Strategy};
-pub use onoff::{AnalysisConfig, Cycle, OnOffAnalysis};
+pub use classify::{classify, classify_analysis, Strategy};
+pub use fold::{
+    AnalysisFold, AnalysisOutput, CaptureTotals, DownloadFold, FlowState, SummariesFold,
+    ThroughputFold, TotalsFold, WindowFold,
+};
+pub use onoff::{AnalysisConfig, Cycle, CycleDetector, OnOffAnalysis};
 pub use phases::SessionPhases;
 pub use stats::{mean, pearson_correlation, variance, Cdf};

@@ -70,50 +70,108 @@ pub struct OnOffAnalysis {
     pub off_periods: Vec<(SimTime, SimTime)>,
 }
 
+/// Incremental ON/OFF cycle detector — the streaming form of the raw
+/// detection loop in [`OnOffAnalysis::from_trace`], fed one incoming data
+/// packet at a time (e.g. from a live
+/// [`PacketSink`](vstream_capture::PacketSink) tap). [`CycleDetector::finish`]
+/// closes the open cycle and applies the min-cycle filter, so a live tap and
+/// a post-hoc trace scan produce the same analysis; `from_trace` itself is a
+/// column scan feeding this detector.
+///
+/// State is O(cycles), not O(packets).
+#[derive(Clone, Debug, Default)]
+pub struct CycleDetector {
+    current: Option<Cycle>,
+    cycles: Vec<Cycle>,
+    off_periods: Vec<(SimTime, SimTime)>,
+}
+
+impl CycleDetector {
+    /// Feeds the next incoming data packet. Returns `true` when the packet
+    /// opened a new ON period (including the very first packet).
+    pub fn data(&mut self, at: SimTime, payload: u64, idle_threshold: SimDuration) -> bool {
+        match self.current.as_mut() {
+            None => {
+                self.current = Some(Cycle {
+                    on_start: at,
+                    on_end: at,
+                    bytes: payload,
+                    packets: 1,
+                });
+                true
+            }
+            Some(c) => {
+                if at.duration_since(c.on_end) > idle_threshold {
+                    self.off_periods.push((c.on_end, at));
+                    self.cycles.push(*c);
+                    *c = Cycle {
+                        on_start: at,
+                        on_end: at,
+                        bytes: payload,
+                        packets: 1,
+                    };
+                    true
+                } else {
+                    c.on_end = at;
+                    c.bytes += payload;
+                    c.packets += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Start of the currently open ON period.
+    pub fn current_start(&self) -> Option<SimTime> {
+        self.current.map(|c| c.on_start)
+    }
+
+    /// Closes the open cycle and hands back the raw (unfiltered) cycles and
+    /// the OFF periods between them.
+    pub fn into_raw(mut self) -> (Vec<Cycle>, Vec<(SimTime, SimTime)>) {
+        if let Some(c) = self.current.take() {
+            self.cycles.push(c);
+        }
+        (self.cycles, self.off_periods)
+    }
+
+    /// Closes the open cycle and applies the min-cycle filter, yielding the
+    /// same analysis [`OnOffAnalysis::from_trace`] computes from a capture.
+    pub fn finish(self, config: &AnalysisConfig) -> OnOffAnalysis {
+        let (cycles, off_periods) = self.into_raw();
+        OnOffAnalysis::filter_raw(cycles, off_periods, config)
+    }
+
+    /// Heap bytes held by the detector state.
+    pub fn approx_bytes(&self) -> usize {
+        self.cycles.capacity() * std::mem::size_of::<Cycle>()
+            + self.off_periods.capacity() * std::mem::size_of::<(SimTime, SimTime)>()
+    }
+}
+
 impl OnOffAnalysis {
     /// Segments the incoming data packets of `trace` (all connections
     /// aggregated, as the viewer's access link sees them) into ON/OFF
     /// cycles.
     pub fn from_trace(trace: &Trace, config: &AnalysisConfig) -> Self {
-        let mut cycles = Vec::new();
-        let mut off_periods = Vec::new();
-        let mut current: Option<Cycle> = None;
-
+        let mut detector = CycleDetector::default();
         for r in trace.incoming_data() {
-            match current.as_mut() {
-                None => {
-                    current = Some(Cycle {
-                        on_start: r.at(),
-                        on_end: r.at(),
-                        bytes: r.payload() as u64,
-                        packets: 1,
-                    });
-                }
-                Some(c) => {
-                    if r.at().duration_since(c.on_end) > config.idle_threshold {
-                        off_periods.push((c.on_end, r.at()));
-                        cycles.push(*c);
-                        *c = Cycle {
-                            on_start: r.at(),
-                            on_end: r.at(),
-                            bytes: r.payload() as u64,
-                            packets: 1,
-                        };
-                    } else {
-                        c.on_end = r.at();
-                        c.bytes += r.payload() as u64;
-                        c.packets += 1;
-                    }
-                }
-            }
+            detector.data(r.at(), r.payload() as u64, config.idle_threshold);
         }
-        if let Some(c) = current {
-            cycles.push(c);
-        }
+        detector.finish(config)
+    }
 
-        // Drop probe/keep-alive artifacts: a "cycle" of a few bytes is a
-        // zero-window probe, not an application block. Its OFF neighbours
-        // merge into one longer OFF period.
+    /// Applies the artifact filter to raw detected cycles — shared between
+    /// the trace scan and the incremental [`CycleDetector`].
+    ///
+    /// Drops probe/keep-alive artifacts: a "cycle" of a few bytes is a
+    /// zero-window probe, not an application block. Its OFF neighbours merge
+    /// into one longer OFF period.
+    pub fn filter_raw(
+        cycles: Vec<Cycle>,
+        off_periods: Vec<(SimTime, SimTime)>,
+        config: &AnalysisConfig,
+    ) -> Self {
         let mut filtered = Vec::with_capacity(cycles.len());
         let mut merged_offs: Vec<(SimTime, SimTime)> = Vec::with_capacity(off_periods.len());
         for (i, c) in cycles.iter().enumerate() {

@@ -12,7 +12,7 @@
 //! deadline (the authors captured 180 s per video) or until the logic calls
 //! [`Engine::stop`].
 
-use vstream_capture::{TapDirection, Trace};
+use vstream_capture::{NullSink, PacketSink, TapDirection, TapPacket, Trace};
 use vstream_net::{Direction, DuplexPath};
 use vstream_obs::{collector, Counter, Gauge, HistId, Metrics};
 use vstream_sim::{EventQueue, QueueStats, SimDuration, SimRng, SimTime};
@@ -192,8 +192,23 @@ pub struct Engine {
     metrics: Metrics,
     /// Whether the scratch this engine was built from had run a session.
     scratch_was_used: bool,
-    /// The trace capacity this session started with, to detect regrowth.
+    /// The scratch's trace-capacity hint. The trace itself is allocated
+    /// lazily at run start and only when the session retains one, so a
+    /// streaming session never pays for the columns; the hint also detects
+    /// regrowth and survives [`Engine::into_parts`] when no trace was built.
     initial_trace_capacity: usize,
+    /// Staging row for packets between the tap and the streaming sink:
+    /// filled by [`Engine::tap`] while an event executes, drained to the
+    /// sink in capture order after each event.
+    tap_buf: Vec<TapPacket>,
+    /// True while [`Engine::run_observed`] is feeding a sink.
+    tap_stream: bool,
+    /// Whether tapped packets are retained in [`Engine::trace`]. Always true
+    /// for [`Engine::run`]; streaming callers may turn the trace off
+    /// entirely and fold on the fly.
+    keep_trace: bool,
+    /// Packets seen by the tap (equals `trace.len()` when retaining).
+    packets_tapped: u64,
 }
 
 impl Engine {
@@ -226,7 +241,9 @@ impl Engine {
             queue,
             path,
             rng: SimRng::new(seed),
-            trace: Trace::with_capacity(trace_capacity),
+            // Allocated lazily at run start (see `run_inner`): a streaming
+            // session that never retains a trace must not reserve columns.
+            trace: Trace::with_capacity(0),
             conns: Vec::new(),
             limit: SimTime::ZERO + capture_limit,
             stopped: false,
@@ -235,6 +252,10 @@ impl Engine {
             metrics,
             scratch_was_used: used,
             initial_trace_capacity: trace_capacity,
+            tap_buf: Vec::new(),
+            tap_stream: false,
+            keep_trace: true,
+            packets_tapped: 0,
         }
     }
 
@@ -291,8 +312,14 @@ impl Engine {
             queue: self.queue,
             seg_buf: self.seg_buf,
             // The trace's final capacity is its true high-water mark
-            // (doubling included), so the next session allocates once.
-            trace_capacity: self.trace.capacity().max(self.trace.len()),
+            // (doubling included), so the next session allocates once. A
+            // session that never materialised a trace passes the hint
+            // through unchanged for the next retaining session.
+            trace_capacity: if self.trace.capacity() == 0 {
+                self.initial_trace_capacity
+            } else {
+                self.trace.capacity().max(self.trace.len())
+            },
             metrics: self.metrics,
             used: true,
         };
@@ -345,7 +372,8 @@ impl Engine {
             }
         }
 
-        m.add(Counter::CapturePackets, self.trace.len() as u64);
+        m.add(Counter::CapturePackets, self.packets_tapped);
+        m.gauge_max(Gauge::PeakTraceBytes, self.trace.resident_bytes() as u64);
         if self.trace.capacity() > self.initial_trace_capacity && self.initial_trace_capacity > 0 {
             m.add(Counter::CaptureTraceRegrows, 1);
         }
@@ -477,10 +505,39 @@ impl Engine {
     /// Runs the session to completion: until the capture limit, an empty
     /// event queue, or [`Engine::stop`].
     pub fn run<L: SessionLogic>(&mut self, logic: &mut L) {
+        self.tap_stream = false;
+        self.keep_trace = true;
+        self.run_inner(logic, &mut NullSink);
+    }
+
+    /// Like [`Engine::run`], but additionally streams every tapped packet
+    /// into `sink`, in capture order, as the session executes. With
+    /// `keep_trace = false` the engine never materialises a [`Trace`] at
+    /// all — the sink is the only consumer — which is the O(flows)
+    /// streaming mode of the figure drivers; with `keep_trace = true` the
+    /// retained trace and the sink see identical packet streams.
+    pub fn run_observed<L: SessionLogic, S: PacketSink + ?Sized>(
+        &mut self,
+        logic: &mut L,
+        sink: &mut S,
+        keep_trace: bool,
+    ) {
+        self.tap_stream = true;
+        self.keep_trace = keep_trace;
+        self.run_inner(logic, sink);
+    }
+
+    fn run_inner<L: SessionLogic, S: PacketSink + ?Sized>(&mut self, logic: &mut L, sink: &mut S) {
+        // Deferred trace allocation: only a session that retains its
+        // capture reserves the columns, and only once per session.
+        if self.keep_trace && self.trace.capacity() == 0 && self.initial_trace_capacity > 0 {
+            self.trace = Trace::with_capacity(self.initial_trace_capacity);
+        }
         if self.cross_traffic.is_some() {
             self.schedule_cross_burst();
         }
         logic.on_start(self);
+        self.drain_tap(sink);
         // Safety valve: a streaming session is bounded by (capture seconds)
         // x (packet rate); 50M events is far beyond any legitimate run.
         for _ in 0..50_000_000u64 {
@@ -492,7 +549,7 @@ impl Engine {
             };
             match ev {
                 Event::DeliverToClient { conn, seg } => {
-                    self.trace.push(t, TapDirection::Incoming, seg);
+                    self.tap(t, TapDirection::Incoming, &seg);
                     let mut buf = std::mem::take(&mut self.seg_buf);
                     buf.clear();
                     self.conns[conn].client.on_segment_into(t, seg, &mut buf);
@@ -548,8 +605,36 @@ impl Engine {
                     self.schedule_cross_burst();
                 }
             }
+            self.drain_tap(sink);
         }
         panic!("session event-count safety valve tripped: runaway event loop");
+    }
+
+    /// Feeds the packets an event staged via [`Engine::tap`] to the
+    /// streaming sink, preserving capture order. Empty (and free) outside
+    /// [`Engine::run_observed`].
+    #[inline]
+    fn drain_tap<S: PacketSink + ?Sized>(&mut self, sink: &mut S) {
+        for p in self.tap_buf.drain(..) {
+            sink.packet(&p);
+        }
+    }
+
+    /// The capture tap: every segment crossing the client NIC lands here.
+    /// Records into the retained trace, stages for the streaming sink, or
+    /// both — the two consumers always see the same packet stream.
+    #[inline]
+    fn tap(&mut self, at: SimTime, dir: TapDirection, seg: &Segment) {
+        self.packets_tapped += 1;
+        if self.tap_stream {
+            let p = TapPacket::new(at, dir, seg);
+            if self.keep_trace {
+                self.trace.record(&p);
+            }
+            self.tap_buf.push(p);
+        } else if self.keep_trace {
+            self.trace.push(at, dir, *seg);
+        }
     }
 
     fn after_touch<L: SessionLogic>(&mut self, conn: usize, side: Side, logic: &mut L) {
@@ -573,7 +658,7 @@ impl Engine {
     fn transmit_from_client(&mut self, conn: usize, segs: &mut Vec<Segment>) {
         let now = self.now();
         for seg in segs.drain(..) {
-            self.trace.push(now, TapDirection::Outgoing, seg);
+            self.tap(now, TapDirection::Outgoing, &seg);
             if let Some(at) = self
                 .path
                 .send(Direction::Up, now, &seg, &mut self.rng)
@@ -814,6 +899,47 @@ mod tests {
             congested > clean + SimDuration::from_secs(3),
             "cross traffic had no effect: clean {clean}, congested {congested}"
         );
+    }
+
+    #[test]
+    fn streamed_tap_matches_batch_trace() {
+        struct Collect(Vec<TapPacket>);
+        impl PacketSink for Collect {
+            fn packet(&mut self, p: &TapPacket) {
+                self.0.push(*p);
+            }
+        }
+        // The Residence path has loss, so retransmissions and SACKs cross
+        // the tap too.
+        let run = |streamed: bool, keep_trace: bool| {
+            let mut eng = Engine::new(
+                NetworkProfile::Residence.build_path(),
+                11,
+                SimDuration::from_secs(20),
+            );
+            let mut logic = BulkLogic {
+                size: 1_500_000,
+                read_total: 0,
+                finished_at: None,
+            };
+            let mut sink = Collect(Vec::new());
+            if streamed {
+                eng.run_observed(&mut logic, &mut sink, keep_trace);
+            } else {
+                eng.run(&mut logic);
+                eng.trace().replay(&mut sink);
+            }
+            (sink.0, eng.trace().len())
+        };
+        let (batch, batch_len) = run(false, true);
+        let (streamed, kept_len) = run(true, true);
+        let (streamed_no_trace, no_trace_len) = run(true, false);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.len(), batch_len);
+        assert_eq!(batch, streamed, "live sink must see what the trace stores");
+        assert_eq!(batch, streamed_no_trace, "trace retention must not change the stream");
+        assert_eq!(kept_len, batch_len);
+        assert_eq!(no_trace_len, 0, "keep_trace=false must not materialise a trace");
     }
 
     #[test]

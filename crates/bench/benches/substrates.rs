@@ -193,6 +193,62 @@ fn bench_sessions_per_sec(c: &mut Criterion) {
     }
 }
 
+/// The streaming query path against the batch path, over the same paced
+/// 8-session fan-out as the `parallel` group and the fold set the
+/// steady-state figures use (ON/OFF + phases). Both modes produce identical
+/// replies; the rows measure what trace-free execution costs (or saves) in
+/// wall clock. The peak-memory lines printed after the group are the
+/// `peak_trace_bytes` / `peak_flowstate_bytes` comparison DESIGN.md quotes.
+fn bench_streaming_query(c: &mut Criterion) {
+    use vstream::{query_many_jobs, set_streaming, SessionQuery};
+    use vstream_obs::{collector, Gauge};
+
+    const SESSIONS: u64 = 8;
+    let specs: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Firefox,
+                Container::Flash,
+                Video::new(i, 1_000_000, SimDuration::from_secs(2400)),
+                NetworkProfile::Research,
+                0x5E55 + i,
+                SimDuration::from_secs(180),
+            )
+        })
+        .collect();
+    let query = SessionQuery::default().onoff().phases();
+    let jobs = vstream::default_jobs();
+    {
+        let mut g = c.benchmark_group("streaming");
+        g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(1));
+        g.bench_function("query_8_sessions_batch", |b| {
+            set_streaming(false);
+            b.iter(|| black_box(query_many_jobs(black_box(&specs), jobs, &query)))
+        });
+        g.bench_function("query_8_sessions_streaming", |b| {
+            set_streaming(true);
+            b.iter(|| black_box(query_many_jobs(black_box(&specs), jobs, &query)));
+            set_streaming(false);
+        });
+        g.finish();
+    }
+    // Peak-memory report: one metered pass per mode. `wall = true` keeps the
+    // execution-dependent gauges the byte-comparable ledgers zero out.
+    for streaming in [false, true] {
+        collector::install(true);
+        set_streaming(streaming);
+        black_box(query_many_jobs(&specs, jobs, &query));
+        set_streaming(false);
+        let ledger = collector::take().expect("collector installed");
+        println!(
+            "streaming/peak_bytes[{}]: trace={} flowstate={}",
+            if streaming { "streaming" } else { "batch" },
+            ledger.totals.gauge(Gauge::PeakTraceBytes),
+            ledger.totals.gauge(Gauge::PeakFlowstateBytes),
+        );
+    }
+}
+
 fn bench_fluid_model(c: &mut Criterion) {
     use vstream_model::{FluidSim, FluidStrategy, PopulationModel};
     let pop = PopulationModel {
@@ -216,6 +272,7 @@ criterion_group!(
     bench_analysis,
     bench_pack,
     bench_sessions_per_sec,
+    bench_streaming_query,
     bench_fluid_model
 );
 criterion_main!(benches);

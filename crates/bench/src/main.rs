@@ -10,6 +10,7 @@
 //! repro all --metrics-summary     # print the ledger as human tables
 //! repro all --progress            # per-figure timing lines on stderr
 //! repro all --no-cache            # re-simulate duplicate sessions
+//! repro all --streaming           # fold packets live, retain no traces
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: session seeds derive
@@ -23,6 +24,14 @@
 //! figures are byte-identical either way — `scripts/check_determinism.sh`
 //! holds this). `--no-cache` is the escape hatch that trades the wall-clock
 //! win back for the memory the cache retains.
+//!
+//! `--streaming` switches the figure drivers to the `vstream::query`
+//! streaming mode: analysis folds ride the engine's live packet tap and no
+//! session retains a packet trace (cache misses keep one transiently, only
+//! to pack it). Figures are byte-identical with the flag on or off — both
+//! modes compute through the same folds — so the flag only trades where
+//! peak memory goes (`peak_trace_bytes` vs `peak_flowstate_bytes` in the
+//! ledger).
 
 use std::fs;
 use std::path::PathBuf;
@@ -71,6 +80,7 @@ fn main() {
             "--metrics-summary" => opts.metrics_summary = true,
             "--progress" => opts.progress = true,
             "--no-cache" => opts.no_cache = true,
+            "--streaming" => vstream::set_streaming(true),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -150,7 +160,7 @@ const ALL_IDS: [&str; 21] = [
 fn print_usage() {
     println!(
         "usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR] \
-         [--metrics PATH] [--metrics-summary] [--progress] [--no-cache]"
+         [--metrics PATH] [--metrics-summary] [--progress] [--no-cache] [--streaming]"
     );
     println!("ids: {}", ALL_IDS.join(" "));
 }

@@ -22,8 +22,13 @@
 pub mod pack;
 pub mod pcap;
 pub mod record;
+pub mod sink;
 pub mod trace;
 
 pub use pack::PackedTrace;
 pub use record::{PacketRecord, TapDirection};
-pub use trace::{ConnectionSummary, ConnectionView, PacketRef, Trace};
+pub use sink::{flags_of, NullSink, PacketSink, TapPacket, Tee};
+pub use trace::{
+    ConnectionSummary, ConnectionView, PacketRef, Trace, FLAG_ACK, FLAG_FIN, FLAG_OUTGOING,
+    FLAG_RETX, FLAG_SACK, FLAG_SYN,
+};

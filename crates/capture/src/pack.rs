@@ -48,6 +48,7 @@
 use vstream_sim::SimTime;
 use vstream_tcp::segment::SackBlocks;
 
+use crate::sink::{PacketSink, TapPacket};
 use crate::trace::{
     Trace, FLAG_ACK, FLAG_FIN, FLAG_OUTGOING, FLAG_RETX, FLAG_SACK, FLAG_SYN,
 };
@@ -361,23 +362,38 @@ impl PackedTrace {
         PackedTrace { bytes, len: n }
     }
 
-    /// Reconstructs the original trace, exactly — sequential reads of each
-    /// field stream, appending straight to the trace's columns.
+    /// Reconstructs the original trace, exactly — a [`PackedTrace::replay`]
+    /// recorded into a pre-sized [`Trace`].
     ///
     /// # Panics
     /// Panics (release builds included) if the packed bytes are truncated,
     /// carry trailing garbage, or any stream fails to parse to exactly its
     /// recorded length.
     pub fn unpack(&self) -> Trace {
+        let mut trace = Trace::with_capacity(self.len);
+        self.replay(&mut trace);
+        trace
+    }
+
+    /// Replays the packed capture through `sink`, record by record in
+    /// capture order, without materialising a [`Trace`] — the cache-hit
+    /// path of streaming mode. Every stream (timestamps included) is
+    /// decoded lock-step inside the one record loop, so the replay holds
+    /// only the per-stream cursors and predictor state, never an O(records)
+    /// buffer.
+    ///
+    /// # Panics
+    /// As [`PackedTrace::unpack`]: corrupt or truncated packed bytes panic
+    /// rather than yielding a silently wrong replay.
+    pub fn replay<S: PacketSink + ?Sized>(&self, sink: &mut S) {
         let n = self.len;
-        let mut trace = Trace::with_capacity(n);
         if n == 0 {
             assert!(
                 self.bytes.is_empty(),
                 "corrupt packed trace: empty trace carries {} bytes",
                 self.bytes.len()
             );
-            return trace;
+            return;
         }
 
         // Timestamp tick and stream-length table, then one slice per
@@ -416,19 +432,14 @@ impl PackedTrace {
             tags.len()
         );
 
-        // Timestamps first: a tight tick-scaled delta loop over one column.
+        // One fused pass: each field stream — timestamps included — is
+        // read through its own sequential cursor, the per-(connection,
+        // direction) predictors step exactly as the encoder's did, and
+        // every decoded record is handed to the sink. Timestamps are
+        // decoded lock-step with the other fields (not in a separate
+        // pre-pass) so the replay needs no O(records) staging buffer.
         let mut r_at = Reader::new(streams[S_AT], STREAM_NAMES[S_AT]);
         let mut last_at = 0u64;
-        for _ in 0..n {
-            last_at = last_at.wrapping_add(r_at.varint().wrapping_mul(scale));
-            trace.at.push(SimTime::from_nanos(last_at));
-        }
-        r_at.finish();
-
-        // Everything else in one fused pass: each field stream is read
-        // through its own sequential cursor, the per-(connection,
-        // direction) predictors step exactly as the encoder's did, and
-        // every decoded value is appended straight to its column.
         let mut r_conn = Reader::new(streams[S_CONN], STREAM_NAMES[S_CONN]);
         let mut r_payload = Reader::new(streams[S_PAYLOAD], STREAM_NAMES[S_PAYLOAD]);
         let mut r_seq = Reader::new(streams[S_SEQ], STREAM_NAMES[S_SEQ]);
@@ -438,13 +449,11 @@ impl PackedTrace {
         let mut r_sack = Reader::new(streams[S_SACK], STREAM_NAMES[S_SACK]);
         let mut preds = Predictors::default();
         let mut last_conn = 0u32;
-        for (i, &tag) in tags.iter().enumerate() {
+        for &tag in tags.iter() {
+            last_at = last_at.wrapping_add(r_at.varint().wrapping_mul(scale));
             let outgoing = tag & TAG_OUTGOING != 0;
             if tag & TAG_CONN != 0 {
                 last_conn = r_conn.varint() as u32;
-                if let Err(pos) = trace.conns.binary_search(&last_conn) {
-                    trace.conns.insert(pos, last_conn);
-                }
             }
             let conn = last_conn;
             let s = preds.get(conn, outgoing);
@@ -500,8 +509,6 @@ impl PackedTrace {
             sack.set_highest_end(highest);
             if sack != SackBlocks::EMPTY {
                 flags |= FLAG_SACK;
-                trace.extras_idx.push(i as u32);
-                trace.extras_sack.push(sack);
             }
 
             s.seq = seq + payload as u64;
@@ -512,24 +519,20 @@ impl PackedTrace {
             }
             s.highest = highest;
 
-            trace.tags.push(flags);
-            trace.conn.push(conn);
-            trace.payload.push(payload);
-            trace.seq.push(seq);
-            trace.ack_no.push(ack_no);
-            trace.window.push(window);
+            sink.packet(&TapPacket {
+                at: SimTime::from_nanos(last_at),
+                flags,
+                conn,
+                payload,
+                seq,
+                ack_no,
+                window,
+                sack,
+            });
         }
-        for r in [r_conn, r_payload, r_seq, r_ack, r_window, r_ex, r_sack] {
+        for r in [r_at, r_conn, r_payload, r_seq, r_ack, r_window, r_ex, r_sack] {
             r.finish();
         }
-        // The first record's connection enters the cache even when it is
-        // the implicit id 0 (no TAG_CONN on record 0).
-        let first = trace.conn[0];
-        if let Err(pos) = trace.conns.binary_search(&first) {
-            trace.conns.insert(pos, first);
-        }
-
-        trace
     }
 
     /// Number of packed records.

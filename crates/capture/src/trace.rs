@@ -23,15 +23,24 @@ use vstream_tcp::Segment;
 
 use crate::record::{PacketRecord, TapDirection};
 
-/// Per-record flag bits held in the `tags` column: direction plus the four
-/// TCP flags, and a marker for records with an entry in the SACK side
-/// table (so the common case skips the side-table lookup entirely).
-pub(crate) const FLAG_OUTGOING: u8 = 1 << 0;
-pub(crate) const FLAG_SYN: u8 = 1 << 1;
-pub(crate) const FLAG_FIN: u8 = 1 << 2;
-pub(crate) const FLAG_ACK: u8 = 1 << 3;
-pub(crate) const FLAG_RETX: u8 = 1 << 4;
-pub(crate) const FLAG_SACK: u8 = 1 << 5;
+/// Per-record flag bit (see the `tags` column): the packet left the client.
+///
+/// The flag byte holds the direction plus the four TCP flags, and a marker
+/// for records with an entry in the SACK side table (so the common case
+/// skips the side-table lookup entirely). The same byte is the `flags`
+/// field of a [`crate::sink::TapPacket`], which is how streaming consumers
+/// and the columnar scans read identical state.
+pub const FLAG_OUTGOING: u8 = 1 << 0;
+/// Per-record flag bit: SYN.
+pub const FLAG_SYN: u8 = 1 << 1;
+/// Per-record flag bit: FIN.
+pub const FLAG_FIN: u8 = 1 << 2;
+/// Per-record flag bit: ACK.
+pub const FLAG_ACK: u8 = 1 << 3;
+/// Per-record flag bit: the segment is a retransmission.
+pub const FLAG_RETX: u8 = 1 << 4;
+/// Per-record flag bit: the record carries non-empty SACK state.
+pub const FLAG_SACK: u8 = 1 << 5;
 
 /// A chronologically ordered packet capture taken at the client, stored
 /// column-wise (see the module docs).
@@ -96,47 +105,104 @@ impl Trace {
         self.at.capacity()
     }
 
+    /// Reserves room for at least `additional` more packets in every hot
+    /// column (the SACK side table stays unreserved; it is tiny on healthy
+    /// paths).
+    pub fn reserve(&mut self, additional: usize) {
+        self.at.reserve(additional);
+        self.tags.reserve(additional);
+        self.conn.reserve(additional);
+        self.payload.reserve(additional);
+        self.seq.reserve(additional);
+        self.ack_no.reserve(additional);
+        self.window.reserve(additional);
+    }
+
+    /// Bytes resident in the trace's allocations — every column's capacity
+    /// at its element size, plus the side table and connection cache. The
+    /// memory figure behind the `peak_trace_bytes` ledger gauge.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.at.capacity() * size_of::<SimTime>()
+            + self.tags.capacity()
+            + self.conn.capacity() * size_of::<u32>()
+            + self.payload.capacity() * size_of::<u32>()
+            + self.seq.capacity() * size_of::<u64>()
+            + self.ack_no.capacity() * size_of::<u64>()
+            + self.window.capacity() * size_of::<u64>()
+            + self.extras_idx.capacity() * size_of::<u32>()
+            + self.extras_sack.capacity() * size_of::<SackBlocks>()
+            + self.conns.capacity() * size_of::<u32>()
+    }
+
     /// Appends a captured packet.
     ///
     /// # Panics
     /// Panics (in debug builds) if timestamps go backwards — captures are
     /// produced by a monotone event loop.
     pub fn push(&mut self, at: SimTime, dir: TapDirection, seg: Segment) {
+        self.record(&crate::sink::TapPacket::new(at, dir, &seg));
+    }
+
+    /// Appends a tapped packet whose flag byte is already built — the
+    /// [`crate::sink::PacketSink`] entry point.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if timestamps go backwards, or if the
+    /// packet's [`FLAG_SACK`] bit disagrees with its SACK payload.
+    pub fn record(&mut self, p: &crate::sink::TapPacket) {
         debug_assert!(
-            self.at.last().is_none_or(|&t| t <= at),
+            self.at.last().is_none_or(|&t| t <= p.at),
             "capture timestamps must be monotone"
         );
-        if let Err(pos) = self.conns.binary_search(&seg.conn) {
-            self.conns.insert(pos, seg.conn);
+        debug_assert_eq!(
+            p.flags & FLAG_SACK != 0,
+            p.sack != SackBlocks::EMPTY,
+            "FLAG_SACK must mirror the SACK payload"
+        );
+        if let Err(pos) = self.conns.binary_search(&p.conn) {
+            self.conns.insert(pos, p.conn);
         }
-        let mut tag = 0u8;
-        if dir == TapDirection::Outgoing {
-            tag |= FLAG_OUTGOING;
-        }
-        if seg.syn {
-            tag |= FLAG_SYN;
-        }
-        if seg.fin {
-            tag |= FLAG_FIN;
-        }
-        if seg.ack {
-            tag |= FLAG_ACK;
-        }
-        if seg.retx {
-            tag |= FLAG_RETX;
-        }
-        if seg.sack != SackBlocks::EMPTY {
-            tag |= FLAG_SACK;
+        if p.flags & FLAG_SACK != 0 {
             self.extras_idx.push(self.at.len() as u32);
-            self.extras_sack.push(seg.sack);
+            self.extras_sack.push(p.sack);
         }
-        self.at.push(at);
-        self.tags.push(tag);
-        self.conn.push(seg.conn);
-        self.payload.push(seg.payload);
-        self.seq.push(seg.seq);
-        self.ack_no.push(seg.ack_no);
-        self.window.push(seg.window);
+        self.at.push(p.at);
+        self.tags.push(p.flags);
+        self.conn.push(p.conn);
+        self.payload.push(p.payload);
+        self.seq.push(p.seq);
+        self.ack_no.push(p.ack_no);
+        self.window.push(p.window);
+    }
+
+    /// Replays the capture through `sink`, record by record in capture
+    /// order — the cache-hit path of streaming mode, and the bridge that
+    /// lets any fold be checked against the stored columns.
+    ///
+    /// The SACK side table is walked with a sequential cursor (it is sorted
+    /// by record index), so the replay is one linear pass over the columns.
+    pub fn replay<S: crate::sink::PacketSink + ?Sized>(&self, sink: &mut S) {
+        let mut sack_cursor = 0usize;
+        for i in 0..self.len() {
+            let sack = if self.tags[i] & FLAG_SACK != 0 {
+                let s = self.extras_sack[sack_cursor];
+                sack_cursor += 1;
+                s
+            } else {
+                SackBlocks::EMPTY
+            };
+            sink.packet(&crate::sink::TapPacket {
+                at: self.at[i],
+                flags: self.tags[i],
+                conn: self.conn[i],
+                payload: self.payload[i],
+                seq: self.seq[i],
+                ack_no: self.ack_no[i],
+                window: self.window[i],
+                sack,
+            });
+        }
     }
 
     /// Number of captured packets.

@@ -35,7 +35,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use vstream_capture::PackedTrace;
+use vstream_capture::{PackedTrace, PacketSink};
 use vstream_obs::Metrics;
 use vstream_sim::SimDuration;
 use vstream_tcp::EndpointStats;
@@ -90,6 +90,30 @@ impl CachedCell {
     /// Decodes the retained session back into a fresh [`CellOutcome`].
     pub fn unpack_outcome(&self) -> Option<CellOutcome> {
         self.packed.as_ref().map(PackedCell::unpack)
+    }
+
+    /// Replays the retained capture through `sink` packet by packet, never
+    /// materialising a [`Trace`](vstream_capture::Trace) — the streaming
+    /// figure drivers' cache-hit path. Returns `false` for inapplicable
+    /// cells (nothing retained, nothing replayed).
+    pub fn replay_into(&self, sink: &mut dyn PacketSink) -> bool {
+        match &self.packed {
+            Some(p) => {
+                p.trace.replay(sink);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The retained non-trace outcome fields:
+    /// `(logic, connections, connection_stats, base_rtt)`.
+    pub(crate) fn parts(
+        &self,
+    ) -> Option<(StrategyLogic, usize, Vec<(EndpointStats, EndpointStats)>, SimDuration)> {
+        self.packed
+            .as_ref()
+            .map(|p| (p.logic.clone(), p.connections, p.connection_stats.clone(), p.base_rtt))
     }
 }
 

@@ -1,13 +1,14 @@
 //! The steady-state block-size and accumulation-ratio figures: 4, 5, 6(b),
 //! 7(b), and 12.
 
-use vstream_analysis::{AnalysisConfig, Cdf, OnOffAnalysis, SessionPhases};
+use vstream_analysis::Cdf;
 use vstream_net::NetworkProfile;
 use vstream_workload::{Client, Container, Dataset};
 
 use crate::figures::cell_specs;
+use crate::query::{query_many, SessionQuery};
 use crate::report::{FigureData, Series};
-use crate::session::{map_many, SessionSpec};
+use crate::session::SessionSpec;
 
 /// Block sizes and accumulation ratios pooled over `n` sessions of one cell
 /// on one profile.
@@ -24,24 +25,22 @@ fn steady_state_samples(
     seed: u64,
     n: usize,
 ) -> (Vec<f64>, Vec<f64>) {
-    let cfg = AnalysisConfig::default();
+    let query = SessionQuery::default().onoff().phases();
     let specs: Vec<SessionSpec> = cell_specs(client, container, dataset, profile, seed, n);
-    let per_session = map_many(&specs, |i, out| {
-        let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
-        let blocks: Vec<f64> = analysis
-            .steady_state_block_sizes()
-            .into_iter()
-            .map(|b| b as f64)
-            .collect();
-        let phases = SessionPhases::from_trace(&out.trace, &cfg);
-        let ratio = phases.accumulation_ratio(specs[i].video.encoding_bps as f64);
-        (blocks, ratio)
-    });
+    let per_session = query_many(&specs, &query);
     let mut blocks = Vec::new();
     let mut ratios = Vec::new();
-    for (session_blocks, ratio) in per_session.into_iter().flatten() {
-        blocks.extend(session_blocks);
-        ratios.extend(ratio);
+    for (i, reply) in per_session.into_iter().enumerate() {
+        let Some(reply) = reply else { continue };
+        let analysis = reply.answer.onoff.as_ref().expect("onoff queried");
+        blocks.extend(
+            analysis
+                .steady_state_block_sizes()
+                .into_iter()
+                .map(|b| b as f64),
+        );
+        let phases = reply.answer.phases.as_ref().expect("phases queried");
+        ratios.extend(phases.accumulation_ratio(specs[i].video.encoding_bps as f64));
     }
     (blocks, ratios)
 }
@@ -165,7 +164,7 @@ pub fn fig6b_long_blocks(seed: u64, n: usize) -> FigureData {
 /// Fig. 7(b): iPad mean block size vs encoding rate — the block grows with
 /// the rate.
 pub fn fig7b_ipad_block_vs_rate(seed: u64, n: usize) -> FigureData {
-    let cfg = AnalysisConfig::default();
+    let query = SessionQuery::default().onoff();
     let specs: Vec<SessionSpec> = cell_specs(
         Client::Ipad,
         Container::Html5,
@@ -174,19 +173,24 @@ pub fn fig7b_ipad_block_vs_rate(seed: u64, n: usize) -> FigureData {
         seed,
         n,
     );
-    let mut points: Vec<(f64, f64)> = map_many(&specs, |i, out| {
-        let analysis = OnOffAnalysis::from_trace(&out.trace, &cfg);
-        let blocks = analysis.steady_state_block_sizes();
-        if blocks.is_empty() {
-            return None;
-        }
-        let mean = blocks.iter().sum::<u64>() as f64 / blocks.len() as f64;
-        Some((specs[i].video.encoding_bps as f64 / 1e6, mean / 1e3))
-    })
-    .into_iter()
-    .flatten()
-    .flatten()
-    .collect();
+    let mut points: Vec<(f64, f64)> = query_many(&specs, &query)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, reply)| {
+            let reply = reply?;
+            let blocks = reply
+                .answer
+                .onoff
+                .as_ref()
+                .expect("onoff queried")
+                .steady_state_block_sizes();
+            if blocks.is_empty() {
+                return None;
+            }
+            let mean = blocks.iter().sum::<u64>() as f64 / blocks.len() as f64;
+            Some((specs[i].video.encoding_bps as f64 / 1e6, mean / 1e3))
+        })
+        .collect();
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     FigureData {
         id: "fig7b",

@@ -1,12 +1,13 @@
 //! The buffering-phase figures: 3(a), 3(b), and 11.
 
-use vstream_analysis::{pearson_correlation, AnalysisConfig, Cdf, SessionPhases};
+use vstream_analysis::{pearson_correlation, Cdf, SessionPhases};
 use vstream_net::NetworkProfile;
 use vstream_workload::{Client, Container, Dataset};
 
 use crate::figures::cell_specs;
+use crate::query::{query_many, SessionQuery};
 use crate::report::{FigureData, Series};
-use crate::session::{map_many, SessionSpec};
+use crate::session::SessionSpec;
 
 /// Runs `n` sessions of a dataset/cell over one profile and returns
 /// `(encoding_bps, SessionPhases)` per session.
@@ -23,15 +24,16 @@ fn phase_samples(
     seed: u64,
     n: usize,
 ) -> Vec<(f64, SessionPhases)> {
-    let cfg = AnalysisConfig::default();
+    let query = SessionQuery::default().phases();
     let specs: Vec<SessionSpec> = cell_specs(client, container, dataset, profile, seed, n);
-    map_many(&specs, |i, out| {
-        let phases = SessionPhases::from_trace(&out.trace, &cfg);
-        (specs[i].video.encoding_bps as f64, phases)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    query_many(&specs, &query)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, reply)| {
+            let phases = reply?.answer.phases.expect("phases queried");
+            Some((specs[i].video.encoding_bps as f64, phases))
+        })
+        .collect()
 }
 
 /// Fig. 3(a): CDF of the playback time buffered during the buffering phase
@@ -112,17 +114,17 @@ pub fn fig3b_html5_buffering(seed: u64, n: usize) -> (FigureData, f64) {
 /// Fig. 11: Netflix buffering amounts — PC (Academic and Home) and iPad
 /// (Academic) in (a), Android (Academic) in (b).
 pub fn fig11_netflix_buffering(seed: u64, n: usize) -> (FigureData, FigureData) {
-    let cfg = AnalysisConfig::default();
+    let query = SessionQuery::default().phases();
     let buffering_cdf = |client: Client, profile: NetworkProfile| -> Vec<(f64, f64)> {
         let specs: Vec<SessionSpec> =
             cell_specs(client, Container::Silverlight, Dataset::NetPc, profile, seed, n);
-        let amounts: Vec<f64> = map_many(&specs, |_, out| {
-            let phases = SessionPhases::from_trace(&out.trace, &cfg);
-            phases.buffering_bytes as f64 / 1e6
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let amounts: Vec<f64> = query_many(&specs, &query)
+            .into_iter()
+            .filter_map(|reply| {
+                let phases = reply?.answer.phases.expect("phases queried");
+                Some(phases.buffering_bytes as f64 / 1e6)
+            })
+            .collect();
         Cdf::new(amounts).points()
     };
 

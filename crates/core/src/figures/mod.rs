@@ -83,6 +83,12 @@ pub(crate) fn cell_specs(
 
 /// Downsamples a cumulative byte series to megabyte points on a time grid,
 /// keeping figures readable without altering their shape.
+///
+/// The figure drivers now get their download series from
+/// [`DownloadFold`](vstream_analysis::DownloadFold) via
+/// [`query_many`](crate::query::query_many); this trace-scan form is kept
+/// as the independent oracle the equivalence tests compare against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn downsample_mb(series: &[(SimTime, u64)], step: SimDuration) -> Vec<(f64, f64)> {
     let mut out: Vec<(f64, f64)> = Vec::new();
     let mut next = SimTime::ZERO;

@@ -7,8 +7,9 @@ use vstream_sim::derive_seed;
 use vstream_workload::{Client, Container, Dataset};
 
 use crate::figures::{long_video, CAPTURE};
+use crate::query::{query_many, SessionQuery};
 use crate::report::{FigureData, Series};
-use crate::session::{map_many, SessionSpec};
+use crate::session::SessionSpec;
 
 /// Fig. 8: for bulk (no ON-OFF) sessions the download rate is set by the
 /// available bandwidth, not the encoding rate. Returns the scatter plus the
@@ -26,18 +27,20 @@ pub fn fig8_bulk_rates(seed: u64, n: usize) -> (FigureData, f64) {
             )
         })
         .collect();
-    let points: Vec<(f64, f64)> = map_many(&specs, |i, out| {
-        let duration = out.trace.duration().as_secs_f64();
-        if duration <= 0.0 {
-            return None;
-        }
-        let rate_mbps = out.trace.total_downloaded() as f64 * 8.0 / duration / 1e6;
-        Some((specs[i].video.encoding_bps as f64 / 1e6, rate_mbps))
-    })
-    .into_iter()
-    .flatten()
-    .flatten()
-    .collect();
+    let query = SessionQuery::default().totals();
+    let points: Vec<(f64, f64)> = query_many(&specs, &query)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, reply)| {
+            let totals = reply?.answer.totals?;
+            let duration = totals.duration.as_secs_f64();
+            if duration <= 0.0 {
+                return None;
+            }
+            let rate_mbps = totals.total_downloaded as f64 * 8.0 / duration / 1e6;
+            Some((specs[i].video.encoding_bps as f64 / 1e6, rate_mbps))
+        })
+        .collect();
     let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
     let corr = pearson_correlation(&xs, &ys);
     (
@@ -81,16 +84,19 @@ pub fn fig9_ack_clock(seed: u64) -> FigureData {
             )
         })
         .collect();
-    let per_case = map_many(&specs, |_, out| {
-        let samples = first_rtt_bytes(&out.trace, &cfg, out.base_rtt);
-        samples.iter().map(|&b| b as f64 / 1e3).collect::<Vec<f64>>()
-    });
+    let query = SessionQuery::with_config(cfg).ack_clock();
+    let per_case = query_many(&specs, &query);
     let mut series = Vec::new();
-    for (case, kb) in cases.iter().zip(per_case) {
-        let kb = kb.expect("valid cell");
-        if kb.is_empty() {
+    for (case, reply) in cases.iter().zip(per_case) {
+        let samples = reply
+            .expect("valid cell")
+            .answer
+            .first_rtt_bytes
+            .expect("ack clock queried");
+        if samples.is_empty() {
             continue;
         }
+        let kb: Vec<f64> = samples.iter().map(|&b| b as f64 / 1e3).collect();
         series.push(Series::new(case.0, Cdf::new(kb).points()));
     }
     FigureData {

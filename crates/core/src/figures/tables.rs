@@ -1,13 +1,14 @@
 //! Table 1 (the strategy matrix) and Table 2 (the strategy comparison).
 
-use vstream_analysis::{classify, AnalysisConfig, Strategy};
+use vstream_analysis::{classify_analysis, AnalysisConfig, Strategy};
 use vstream_net::NetworkProfile;
 use vstream_sim::SimDuration;
 use vstream_workload::{table1_expected, valid_profiles, Client, Container};
 
 use crate::figures::{long_video, CAPTURE};
+use crate::query::{query_many, SessionQuery};
 use crate::report::TableData;
-use crate::session::{map_many, run_many, SessionSpec};
+use crate::session::SessionSpec;
 
 /// One verified cell of Table 1.
 #[derive(Clone, Debug)]
@@ -68,7 +69,13 @@ pub fn table1_strategy_matrix(seed: u64) -> (TableData, Vec<MatrixCell>) {
             expectations.push(expected);
         }
     }
-    let measured = map_many(&specs, |_, out| classify(&out.trace, &cfg));
+    let query = SessionQuery::with_config(cfg.clone()).onoff();
+    let measured: Vec<Option<Strategy>> = query_many(&specs, &query)
+        .into_iter()
+        .map(|reply| {
+            reply.map(|r| classify_analysis(r.answer.onoff.as_ref().expect("onoff queried"), &cfg))
+        })
+        .collect();
 
     let mut rows = Vec::new();
     let mut cells = Vec::new();
@@ -129,12 +136,13 @@ pub fn table2_strategy_comparison(seed: u64, watch_secs: u64) -> TableData {
                 .interrupted(watch)
         })
         .collect();
-    let outs = run_many(&specs);
+    let query = SessionQuery::default().totals();
+    let outs = query_many(&specs, &query);
     let mut rows = Vec::new();
     for ((name, _, _, engineering), out) in cases.into_iter().zip(outs) {
         let out = out.expect("applicable cell");
         let peak_mb = out.player_stats().peak_buffer_bytes as f64 / 1e6;
-        let downloaded = out.trace.total_downloaded() as f64;
+        let downloaded = out.answer.totals.expect("totals queried").total_downloaded as f64;
         let watched = video.playback_bytes(watch_secs as f64) as f64;
         let unused_mb = (downloaded - watched).max(0.0) / 1e6;
         rows.push(vec![

@@ -1,34 +1,53 @@
 //! The representative-trace figures: 1, 2, 6(a), 7(a), and 10.
 
 use vstream_net::NetworkProfile;
-use vstream_sim::SimDuration;
+use vstream_sim::{SimDuration, SimTime};
 use vstream_workload::{Client, Container};
 
-use crate::figures::{downsample_mb, long_video, CAPTURE};
+use crate::figures::{long_video, CAPTURE};
+use crate::query::{query_many, SessionQuery, SessionReply};
 use crate::report::{FigureData, Series};
-use crate::session::{run_cell, run_many, SessionSpec};
+use crate::session::SessionSpec;
+
+/// The queried download series of one session, in `(secs, MB)`.
+fn download_mb(reply: &SessionReply) -> Vec<(f64, f64)> {
+    reply.answer.download_mb.clone().expect("download queried")
+}
+
+/// The queried receive-window series, scaled by `1/div` bytes.
+fn window_scaled(reply: &SessionReply, div: f64) -> Vec<(f64, f64)> {
+    reply
+        .answer
+        .window_series
+        .as_ref()
+        .expect("window queried")
+        .iter()
+        .map(|&(t, w): &(SimTime, u64)| (t.as_secs_f64(), w as f64 / div))
+        .collect()
+}
 
 /// Fig. 1: the phases of a video download — buffering phase, then ON-OFF
 /// cycles in the steady state. One server-paced (Flash) session.
 pub fn fig1_phases(seed: u64) -> FigureData {
-    let out = run_cell(
-        Client::Firefox,
-        Container::Flash,
-        long_video(1, 1_000_000),
-        NetworkProfile::Research,
-        seed,
-        SimDuration::from_secs(60),
-    )
-    .expect("valid cell");
+    let query = SessionQuery::default().download(SimDuration::from_millis(50));
+    let mut outs = query_many(
+        &[SessionSpec::new(
+            Client::Firefox,
+            Container::Flash,
+            long_video(1, 1_000_000),
+            NetworkProfile::Research,
+            seed,
+            SimDuration::from_secs(60),
+        )],
+        &query,
+    );
+    let out = outs.pop().flatten().expect("valid cell");
     FigureData {
         id: "fig1",
         title: "Phases of video download (server-paced Flash session)".into(),
         x_label: "time_s",
         y_label: "download_mb",
-        series: vec![Series::new(
-            "Download amount",
-            downsample_mb(&out.trace.download_series(), SimDuration::from_millis(50)),
-        )],
+        series: vec![Series::new("Download amount", download_mb(&out))],
     }
 }
 
@@ -38,26 +57,32 @@ pub fn fig1_phases(seed: u64) -> FigureData {
 /// periodically collapses to zero (client-side pacing).
 pub fn fig2_short_onoff(seed: u64) -> (FigureData, FigureData) {
     let window = SimDuration::from_secs(10);
+    let query = SessionQuery::default()
+        .download(SimDuration::from_millis(20))
+        .window(0);
     // Identity-indexed seeds (seed, seed + 1): the two sessions run as one
     // parallel batch.
-    let mut outs = run_many(&[
-        SessionSpec::new(
-            Client::InternetExplorer,
-            Container::Flash,
-            long_video(1, 1_500_000),
-            NetworkProfile::Research,
-            seed,
-            window,
-        ),
-        SessionSpec::new(
-            Client::InternetExplorer,
-            Container::Html5,
-            long_video(2, 1_500_000),
-            NetworkProfile::Research,
-            seed.wrapping_add(1),
-            window,
-        ),
-    ]);
+    let mut outs = query_many(
+        &[
+            SessionSpec::new(
+                Client::InternetExplorer,
+                Container::Flash,
+                long_video(1, 1_500_000),
+                NetworkProfile::Research,
+                seed,
+                window,
+            ),
+            SessionSpec::new(
+                Client::InternetExplorer,
+                Container::Html5,
+                long_video(2, 1_500_000),
+                NetworkProfile::Research,
+                seed.wrapping_add(1),
+                window,
+            ),
+        ],
+        &query,
+    );
     let html5 = outs.pop().flatten().expect("valid cell");
     let flash = outs.pop().flatten().expect("valid cell");
 
@@ -67,32 +92,19 @@ pub fn fig2_short_onoff(seed: u64) -> (FigureData, FigureData) {
         x_label: "time_s",
         y_label: "download_mb",
         series: vec![
-            Series::new(
-                "HTML5 (IE)",
-                downsample_mb(&html5.trace.download_series(), SimDuration::from_millis(20)),
-            ),
-            Series::new(
-                "Flash (IE)",
-                downsample_mb(&flash.trace.download_series(), SimDuration::from_millis(20)),
-            ),
+            Series::new("HTML5 (IE)", download_mb(&html5)),
+            Series::new("Flash (IE)", download_mb(&flash)),
         ],
     };
 
-    let wnd_series = |trace: &vstream_capture::Trace| -> Vec<(f64, f64)> {
-        trace
-            .recv_window_series(0)
-            .into_iter()
-            .map(|(t, w)| (t.as_secs_f64(), w as f64 / 1e3))
-            .collect()
-    };
     let window_fig = FigureData {
         id: "fig2b",
         title: "Short ON-OFF cycles: TCP receive window".into(),
         x_label: "time_s",
         y_label: "recv_window_kb",
         series: vec![
-            Series::new("HTML5 (IE)", wnd_series(&html5.trace)),
-            Series::new("Flash (IE)", wnd_series(&flash.trace)),
+            Series::new("HTML5 (IE)", window_scaled(&html5, 1e3)),
+            Series::new("Flash (IE)", window_scaled(&flash, 1e3)),
         ],
     };
     (download, window_fig)
@@ -102,30 +114,29 @@ pub fn fig2_short_onoff(seed: u64) -> (FigureData, FigureData) {
 /// Chrome HTML5 session. OFF periods last tens of seconds and the window
 /// empties between pulls.
 pub fn fig6a_long_onoff(seed: u64) -> FigureData {
-    let out = run_cell(
-        Client::Chrome,
-        Container::Html5,
-        long_video(1, 1_200_000),
-        NetworkProfile::Research,
-        seed,
-        CAPTURE,
-    )
-    .expect("valid cell");
-    let download = downsample_mb(&out.trace.download_series(), SimDuration::from_millis(200));
-    let window: Vec<(f64, f64)> = out
-        .trace
-        .recv_window_series(0)
-        .into_iter()
-        .map(|(t, w)| (t.as_secs_f64(), w as f64 / 1e6))
-        .collect();
+    let query = SessionQuery::default()
+        .download(SimDuration::from_millis(200))
+        .window(0);
+    let mut outs = query_many(
+        &[SessionSpec::new(
+            Client::Chrome,
+            Container::Html5,
+            long_video(1, 1_200_000),
+            NetworkProfile::Research,
+            seed,
+            CAPTURE,
+        )],
+        &query,
+    );
+    let out = outs.pop().flatten().expect("valid cell");
     FigureData {
         id: "fig6a",
         title: "Long ON-OFF cycles (Chrome): download amount and receive window".into(),
         x_label: "time_s",
         y_label: "mb",
         series: vec![
-            Series::new("Down. Amt.", download),
-            Series::new("Recv. Wnd", window),
+            Series::new("Down. Amt.", download_mb(&out)),
+            Series::new("Recv. Wnd", window_scaled(&out, 1e6)),
         ],
     }
 }
@@ -135,24 +146,28 @@ pub fn fig6a_long_onoff(seed: u64) -> FigureData {
 /// buffering vs short cycles).
 pub fn fig7a_ipad_traces(seed: u64) -> FigureData {
     let window = SimDuration::from_secs(50);
-    let mut outs = run_many(&[
-        SessionSpec::new(
-            Client::Ipad,
-            Container::Html5,
-            long_video(1, 2_500_000),
-            NetworkProfile::Research,
-            seed,
-            window,
-        ),
-        SessionSpec::new(
-            Client::Ipad,
-            Container::Html5,
-            long_video(2, 400_000),
-            NetworkProfile::Research,
-            seed.wrapping_add(1),
-            window,
-        ),
-    ]);
+    let query = SessionQuery::default().download(SimDuration::from_millis(100));
+    let mut outs = query_many(
+        &[
+            SessionSpec::new(
+                Client::Ipad,
+                Container::Html5,
+                long_video(1, 2_500_000),
+                NetworkProfile::Research,
+                seed,
+                window,
+            ),
+            SessionSpec::new(
+                Client::Ipad,
+                Container::Html5,
+                long_video(2, 400_000),
+                NetworkProfile::Research,
+                seed.wrapping_add(1),
+                window,
+            ),
+        ],
+        &query,
+    );
     let video2 = outs.pop().flatten().expect("valid cell");
     let video1 = outs.pop().flatten().expect("valid cell");
     FigureData {
@@ -161,14 +176,8 @@ pub fn fig7a_ipad_traces(seed: u64) -> FigureData {
         x_label: "time_s",
         y_label: "download_mb",
         series: vec![
-            Series::new(
-                "Video1 (2.5 Mbps)",
-                downsample_mb(&video1.trace.download_series(), SimDuration::from_millis(100)),
-            ),
-            Series::new(
-                "Video2 (0.4 Mbps)",
-                downsample_mb(&video2.trace.download_series(), SimDuration::from_millis(100)),
-            ),
+            Series::new("Video1 (2.5 Mbps)", download_mb(&video1)),
+            Series::new("Video2 (0.4 Mbps)", download_mb(&video2)),
         ],
     }
 }
@@ -176,32 +185,36 @@ pub fn fig7a_ipad_traces(seed: u64) -> FigureData {
 /// Fig. 10: Netflix traces — short ON-OFF cycles for PC and iPad (a), long
 /// cycles for Android (b). All on the Academic network, as measured.
 pub fn fig10_netflix_traces(seed: u64) -> (FigureData, FigureData) {
-    let mut outs = run_many(&[
-        SessionSpec::new(
-            Client::Firefox,
-            Container::Silverlight,
-            long_video(1, 3_000_000),
-            NetworkProfile::Academic,
-            seed,
-            SimDuration::from_secs(100),
-        ),
-        SessionSpec::new(
-            Client::Ipad,
-            Container::Silverlight,
-            long_video(2, 1_600_000),
-            NetworkProfile::Academic,
-            seed.wrapping_add(1),
-            SimDuration::from_secs(100),
-        ),
-        SessionSpec::new(
-            Client::Android,
-            Container::Silverlight,
-            long_video(3, 1_600_000),
-            NetworkProfile::Academic,
-            seed.wrapping_add(2),
-            SimDuration::from_secs(150),
-        ),
-    ]);
+    let query = SessionQuery::default().download(SimDuration::from_millis(200));
+    let mut outs = query_many(
+        &[
+            SessionSpec::new(
+                Client::Firefox,
+                Container::Silverlight,
+                long_video(1, 3_000_000),
+                NetworkProfile::Academic,
+                seed,
+                SimDuration::from_secs(100),
+            ),
+            SessionSpec::new(
+                Client::Ipad,
+                Container::Silverlight,
+                long_video(2, 1_600_000),
+                NetworkProfile::Academic,
+                seed.wrapping_add(1),
+                SimDuration::from_secs(100),
+            ),
+            SessionSpec::new(
+                Client::Android,
+                Container::Silverlight,
+                long_video(3, 1_600_000),
+                NetworkProfile::Academic,
+                seed.wrapping_add(2),
+                SimDuration::from_secs(150),
+            ),
+        ],
+        &query,
+    );
     let android = outs.pop().flatten().expect("valid cell");
     let ipad = outs.pop().flatten().expect("valid cell");
     let pc = outs.pop().flatten().expect("valid cell");
@@ -212,14 +225,8 @@ pub fn fig10_netflix_traces(seed: u64) -> (FigureData, FigureData) {
         x_label: "time_s",
         y_label: "download_mb",
         series: vec![
-            Series::new(
-                "PC Acad.",
-                downsample_mb(&pc.trace.download_series(), SimDuration::from_millis(200)),
-            ),
-            Series::new(
-                "iPad Acad.",
-                downsample_mb(&ipad.trace.download_series(), SimDuration::from_millis(200)),
-            ),
+            Series::new("PC Acad.", download_mb(&pc)),
+            Series::new("iPad Acad.", download_mb(&ipad)),
         ],
     };
     let long = FigureData {
@@ -227,10 +234,7 @@ pub fn fig10_netflix_traces(seed: u64) -> (FigureData, FigureData) {
         title: "Netflix: long ON-OFF cycles (Android, Academic)".into(),
         x_label: "time_s",
         y_label: "download_mb",
-        series: vec![Series::new(
-            "Android Acad.",
-            downsample_mb(&android.trace.download_series(), SimDuration::from_millis(200)),
-        )],
+        series: vec![Series::new("Android Acad.", download_mb(&android))],
     };
     (short, long)
 }
@@ -238,6 +242,7 @@ pub fn fig10_netflix_traces(seed: u64) -> (FigureData, FigureData) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::run_cell;
     use vstream_analysis::{AnalysisConfig, OnOffAnalysis};
 
     #[test]

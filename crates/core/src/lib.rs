@@ -55,9 +55,14 @@
 pub mod cache;
 pub mod figures;
 pub mod obs;
+pub mod query;
 pub mod report;
 pub mod session;
 
+pub use query::{
+    query_many, query_many_jobs, set_streaming, streaming_enabled, SessionAnswer, SessionQuery,
+    SessionReply,
+};
 pub use session::{
     default_jobs, map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome,
     SessionScratch, SessionSpec,
@@ -65,6 +70,9 @@ pub use session::{
 
 /// The most common imports for driving experiments.
 pub mod prelude {
+    pub use crate::query::{
+        query_many, query_many_jobs, set_streaming, SessionQuery, SessionReply,
+    };
     pub use crate::report::{FigureData, Series, TableData};
     pub use crate::session::{
         map_many, run_cell, run_many, run_many_jobs, set_default_jobs, CellOutcome,

@@ -1,0 +1,335 @@
+//! The figure drivers' session interface: ask for features, not traces.
+//!
+//! A [`SessionQuery`] names the reductions a driver needs — download
+//! series, receive-window series, ON/OFF analysis, phase decomposition,
+//! ack-clock samples, capture totals — and [`query_many`] resolves a batch
+//! of specs into [`SessionReply`]s carrying exactly those features. Both
+//! execution modes compute every feature through the same incremental fold
+//! operators ([`vstream_analysis::fold`]):
+//!
+//! * **batch** (default): sessions retain their [`Trace`] as before and the
+//!   capture is replayed through the composite fold after the run;
+//! * **streaming** ([`set_streaming`], the `repro` binary's `--streaming`):
+//!   the fold rides the engine's live packet tap
+//!   ([`Engine::run_observed`](vstream_app::engine::Engine::run_observed)),
+//!   and no `Trace` is materialised at all for uncached sessions — cache
+//!   misses fold on the fly (keeping the trace transiently, only to pack
+//!   it), and cache hits replay the packed columns through the same sink.
+//!
+//! Because the folds are shared, a figure's output is byte-identical across
+//! the two modes by construction (`scripts/ci.sh` diffs the full CSV trees
+//! to hold this); the modes differ only in peak memory — O(packets) trace
+//! columns versus O(flows + figure points) fold state, the
+//! `peak_trace_bytes` / `peak_flowstate_bytes` ledger gauges.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use vstream_analysis::{
+    AnalysisConfig, AnalysisFold, CaptureTotals, DownloadFold, OnOffAnalysis, SessionPhases,
+    SummariesFold, ThroughputFold, TotalsFold, WindowFold,
+};
+use vstream_app::PlayerStats;
+use vstream_capture::{ConnectionSummary, PacketSink, TapPacket};
+use vstream_obs::{Gauge, Metrics};
+use vstream_sim::{SimDuration, SimTime};
+use vstream_tcp::EndpointStats;
+use vstream_workload::StrategyLogic;
+
+use crate::session::{default_jobs, CellOutcome, SessionSpec};
+
+/// Whether batch resolution streams sessions through live folds instead of
+/// retaining traces. Results do not depend on this flag — only peak memory
+/// does (the determinism suite diffs both settings).
+static STREAMING: AtomicBool = AtomicBool::new(false);
+
+/// Switches the figure drivers between trace-retaining batch mode (`false`,
+/// the default) and trace-free streaming mode (`true`).
+pub fn set_streaming(on: bool) {
+    STREAMING.store(on, Ordering::Relaxed);
+}
+
+/// True while streaming mode is on.
+pub fn streaming_enabled() -> bool {
+    STREAMING.load(Ordering::Relaxed)
+}
+
+/// The features a figure driver wants from each session.
+#[derive(Clone, Debug)]
+pub struct SessionQuery {
+    /// Downsampled cumulative-download series at this grid step.
+    pub download_step: Option<SimDuration>,
+    /// Advertised receive-window series of this connection.
+    pub window_conn: Option<u32>,
+    /// Incoming goodput timeline at this bin width.
+    pub throughput_bin: Option<SimDuration>,
+    /// ON/OFF cycle analysis.
+    pub onoff: bool,
+    /// Buffering/steady-state phase decomposition (implies cycle detection).
+    pub phases: bool,
+    /// First-RTT bytes per steady-state ON period (the ack-clock test).
+    pub ack_clock: bool,
+    /// Per-connection summaries.
+    pub summaries: bool,
+    /// Whole-capture totals (downloaded bytes, retx rate, duration).
+    pub totals: bool,
+    /// Thresholds for the cycle/phase analyses.
+    pub config: AnalysisConfig,
+}
+
+impl Default for SessionQuery {
+    fn default() -> Self {
+        SessionQuery {
+            download_step: None,
+            window_conn: None,
+            throughput_bin: None,
+            onoff: false,
+            phases: false,
+            ack_clock: false,
+            summaries: false,
+            totals: false,
+            config: AnalysisConfig::default(),
+        }
+    }
+}
+
+impl SessionQuery {
+    /// An empty query with explicit analysis thresholds.
+    pub fn with_config(config: AnalysisConfig) -> Self {
+        SessionQuery {
+            config,
+            ..SessionQuery::default()
+        }
+    }
+
+    /// Requests the download series on a `step` grid.
+    pub fn download(mut self, step: SimDuration) -> Self {
+        self.download_step = Some(step);
+        self
+    }
+
+    /// Requests `conn`'s receive-window series.
+    pub fn window(mut self, conn: u32) -> Self {
+        self.window_conn = Some(conn);
+        self
+    }
+
+    /// Requests the binned throughput timeline.
+    pub fn throughput(mut self, bin: SimDuration) -> Self {
+        self.throughput_bin = Some(bin);
+        self
+    }
+
+    /// Requests the ON/OFF cycle analysis.
+    pub fn onoff(mut self) -> Self {
+        self.onoff = true;
+        self
+    }
+
+    /// Requests the phase decomposition.
+    pub fn phases(mut self) -> Self {
+        self.phases = true;
+        self
+    }
+
+    /// Requests the ack-clock samples.
+    pub fn ack_clock(mut self) -> Self {
+        self.ack_clock = true;
+        self
+    }
+
+    /// Requests per-connection summaries.
+    pub fn summaries(mut self) -> Self {
+        self.summaries = true;
+        self
+    }
+
+    /// Requests the capture totals.
+    pub fn totals(mut self) -> Self {
+        self.totals = true;
+        self
+    }
+
+    fn wants_analysis(&self) -> bool {
+        self.onoff || self.phases || self.ack_clock
+    }
+}
+
+/// The requested features of one session. Fields are `Some` exactly when
+/// the query asked for them.
+#[derive(Clone, Debug, Default)]
+pub struct SessionAnswer {
+    /// `(secs, megabytes)` download points on the query's grid.
+    pub download_mb: Option<Vec<(f64, f64)>>,
+    /// `(time, window_bytes)` of the queried connection.
+    pub window_series: Option<Vec<(SimTime, u64)>>,
+    /// `(bin_start, bits_per_sec)` goodput timeline.
+    pub throughput: Option<Vec<(SimTime, f64)>>,
+    /// Filtered ON/OFF analysis.
+    pub onoff: Option<OnOffAnalysis>,
+    /// Phase decomposition.
+    pub phases: Option<SessionPhases>,
+    /// First-RTT bytes per steady-state cycle.
+    pub first_rtt_bytes: Option<Vec<u64>>,
+    /// Per-connection summaries, ordered by connection id.
+    pub summaries: Option<Vec<ConnectionSummary>>,
+    /// Whole-capture totals.
+    pub totals: Option<CaptureTotals>,
+}
+
+/// Everything [`query_many`] returns per session: the computed features
+/// plus the non-trace outcome fields
+/// ([`CellOutcome`](crate::session::CellOutcome) minus the capture).
+#[derive(Clone)]
+pub struct SessionReply {
+    /// The requested features.
+    pub answer: SessionAnswer,
+    /// The strategy logic after the run (player stats, read counters).
+    pub logic: StrategyLogic,
+    /// Number of TCP connections the session opened.
+    pub connections: usize,
+    /// Per-connection endpoint statistics `(client, server)`.
+    pub connection_stats: Vec<(EndpointStats, EndpointStats)>,
+    /// The base round-trip time of the path.
+    pub base_rtt: SimDuration,
+}
+
+impl SessionReply {
+    /// The player statistics.
+    pub fn player_stats(&self) -> PlayerStats {
+        self.logic.player().stats()
+    }
+}
+
+/// One sink dispatching the packet stream to every fold the query enabled.
+pub(crate) struct CompositeFold {
+    download: Option<DownloadFold>,
+    window: Option<WindowFold>,
+    throughput: Option<ThroughputFold>,
+    analysis: Option<AnalysisFold>,
+    summaries: Option<SummariesFold>,
+    totals: Option<TotalsFold>,
+}
+
+impl CompositeFold {
+    /// Builds the folds for `query`. `base_rtt` parameterises the ack-clock
+    /// fold and may be anything when the query does not ask for it.
+    pub(crate) fn new(query: &SessionQuery, base_rtt: SimDuration) -> Self {
+        let analysis = query.wants_analysis().then(|| {
+            let mut a = AnalysisFold::new(query.config.clone());
+            if query.phases {
+                a = a.with_phases();
+            }
+            if query.ack_clock {
+                a = a.with_ack_clock(base_rtt);
+            }
+            a
+        });
+        CompositeFold {
+            download: query.download_step.map(DownloadFold::new),
+            window: query.window_conn.map(WindowFold::new),
+            throughput: query.throughput_bin.map(ThroughputFold::new),
+            analysis,
+            summaries: query.summaries.then(SummariesFold::new),
+            totals: query.totals.then(TotalsFold::new),
+        }
+    }
+
+    /// Heap bytes held across all enabled folds (the
+    /// `peak_flowstate_bytes` sample).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.download.as_ref().map_or(0, DownloadFold::approx_bytes)
+            + self.window.as_ref().map_or(0, WindowFold::approx_bytes)
+            + self.throughput.as_ref().map_or(0, ThroughputFold::approx_bytes)
+            + self.analysis.as_ref().map_or(0, AnalysisFold::approx_bytes)
+            + self.summaries.as_ref().map_or(0, SummariesFold::approx_bytes)
+            + self.totals.as_ref().map_or(0, TotalsFold::approx_bytes)
+    }
+
+    /// Closes every fold into the answer.
+    pub(crate) fn finish(self, query: &SessionQuery) -> SessionAnswer {
+        let analysis = self.analysis.map(AnalysisFold::finish);
+        let (onoff, phases, first_rtt_bytes) = match analysis {
+            Some(a) => (query.onoff.then_some(a.onoff), a.phases, a.first_rtt_bytes),
+            None => (None, None, None),
+        };
+        SessionAnswer {
+            download_mb: self.download.map(DownloadFold::finish),
+            window_series: self.window.map(WindowFold::finish),
+            throughput: self.throughput.map(ThroughputFold::finish),
+            onoff,
+            phases,
+            first_rtt_bytes,
+            summaries: self.summaries.map(SummariesFold::finish),
+            totals: self.totals.map(TotalsFold::finish),
+        }
+    }
+}
+
+impl PacketSink for CompositeFold {
+    fn packet(&mut self, p: &TapPacket) {
+        if let Some(f) = &mut self.download {
+            f.packet(p);
+        }
+        if let Some(f) = &mut self.window {
+            f.packet(p);
+        }
+        if let Some(f) = &mut self.throughput {
+            f.packet(p);
+        }
+        if let Some(f) = &mut self.analysis {
+            f.packet(p);
+        }
+        if let Some(f) = &mut self.summaries {
+            f.packet(p);
+        }
+        if let Some(f) = &mut self.totals {
+            f.packet(p);
+        }
+    }
+}
+
+/// Folds a completed batch-mode outcome into a reply by replaying its
+/// retained trace through the same composite fold the streaming mode runs
+/// live — the construction that makes the two modes byte-identical.
+pub(crate) fn reply_from_outcome(
+    out: &CellOutcome,
+    query: &SessionQuery,
+    metrics: &mut Metrics,
+) -> SessionReply {
+    let mut fold = CompositeFold::new(query, out.base_rtt);
+    out.trace.replay(&mut fold);
+    metrics.gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
+    SessionReply {
+        answer: fold.finish(query),
+        logic: out.logic.clone(),
+        connections: out.connections,
+        connection_stats: out.connection_stats.clone(),
+        base_rtt: out.base_rtt,
+    }
+}
+
+/// Resolves every spec into the queried features, up to
+/// [`default_jobs`](crate::session::default_jobs) sessions in parallel,
+/// ordered by spec index. `None` marks inapplicable Table 1 cells.
+///
+/// This is [`run_many`](crate::session::run_many) with the trace factored
+/// out: the reply carries features and the small outcome fields only, so
+/// peak memory per worker is the fold state (streaming mode) or one
+/// transient trace (batch mode), never one trace per session.
+pub fn query_many(specs: &[SessionSpec], query: &SessionQuery) -> Vec<Option<SessionReply>> {
+    query_many_jobs(specs, default_jobs(), query)
+}
+
+/// [`query_many`] with an explicit worker count.
+pub fn query_many_jobs(
+    specs: &[SessionSpec],
+    jobs: usize,
+    query: &SessionQuery,
+) -> Vec<Option<SessionReply>> {
+    crate::session::batch_resolve(
+        specs,
+        jobs,
+        |spec, scratch| spec.obtain_reply(scratch, query),
+        |_, reply: &SessionReply| reply.clone(),
+    )
+}

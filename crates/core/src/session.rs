@@ -17,7 +17,7 @@ use vstream_app::engine::Engine;
 pub use vstream_app::engine::SessionScratch;
 use vstream_app::strategies::InterruptAfter;
 use vstream_app::{PlayerStats, Video};
-use vstream_capture::Trace;
+use vstream_capture::{PacketSink, Trace};
 use vstream_net::NetworkProfile;
 use vstream_obs::{collector, Counter, Gauge, HistId};
 use vstream_sim::{exec, SimDuration};
@@ -25,6 +25,7 @@ use vstream_tcp::EndpointStats;
 use vstream_workload::{logic_for, Client, Container, StrategyLogic};
 
 use crate::cache;
+use crate::query::{self, CompositeFold, SessionQuery, SessionReply};
 
 /// Worker count used by the figure/table drivers; `0` selects the host's
 /// available parallelism.
@@ -139,6 +140,31 @@ impl SessionSpec {
             logic,
             self.watch_time,
             scratch,
+            None,
+        ))
+    }
+
+    /// The engine path with a live packet tap: every emitted packet is
+    /// pushed into `sink` as the simulation runs. With `keep_trace` off the
+    /// session never allocates trace columns and the returned outcome
+    /// carries an empty [`Trace`]; with it on, the capture is retained *in
+    /// addition* to being streamed (the cache-miss path, which still needs
+    /// the trace to pack).
+    fn run_uncached_streamed(
+        &self,
+        scratch: &mut SessionScratch,
+        sink: &mut dyn PacketSink,
+        keep_trace: bool,
+    ) -> Option<CellOutcome> {
+        let logic = logic_for(self.client, self.container, self.video)?;
+        Some(finish(
+            self.profile,
+            self.seed,
+            self.capture,
+            logic,
+            self.watch_time,
+            scratch,
+            Some((sink, keep_trace)),
         ))
     }
 
@@ -185,6 +211,111 @@ impl SessionSpec {
             m.add(Counter::CacheBytesRetained, cell.bytes);
         }
         (out, Some(cell))
+    }
+
+    /// Resolves the session straight to the features a
+    /// [`SessionQuery`](crate::query::SessionQuery) asks for, never handing
+    /// a trace to the caller.
+    ///
+    /// In batch mode this is [`SessionSpec::obtain`] followed by a replay of
+    /// the retained trace through the query's composite fold. In streaming
+    /// mode ([`query::set_streaming`]) the fold rides the engine's live
+    /// packet tap instead:
+    ///
+    /// * **uncached** specs run with `keep_trace = false` — no trace columns
+    ///   are ever allocated, peak state is the fold itself;
+    /// * a cache **hit** replays the packed columns through a fresh fold
+    ///   without decoding them into a `Trace`;
+    /// * a cache **miss** streams the live tap into the fold while also
+    ///   retaining the trace, which exists only long enough to be packed
+    ///   into the store.
+    ///
+    /// Every path pushes the identical packet sequence through the identical
+    /// fold, so the reply is bit-equal across batch/streaming and across
+    /// cache hit/miss. The fold's peak footprint is recorded under
+    /// [`Gauge::PeakFlowstateBytes`] — outside the cache-miss metrics
+    /// bracket, so hits re-record their own (identical) value instead of
+    /// inheriting a stored one.
+    pub(crate) fn obtain_reply(
+        &self,
+        scratch: &mut SessionScratch,
+        query: &SessionQuery,
+    ) -> (Option<SessionReply>, Option<Arc<cache::CachedCell>>) {
+        if !query::streaming_enabled() {
+            let (out, cell) = self.obtain(scratch);
+            let reply =
+                out.map(|o| query::reply_from_outcome(&o, query, scratch.metrics_mut()));
+            return (reply, cell);
+        }
+        if !cache::is_active() || !self.shared {
+            let mut fold = CompositeFold::new(query, self.fold_rtt(query));
+            let out = self.run_uncached_streamed(scratch, &mut fold, false);
+            scratch
+                .metrics_mut()
+                .gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
+            let reply = out.map(|o| SessionReply {
+                answer: fold.finish(query),
+                logic: o.logic,
+                connections: o.connections,
+                connection_stats: o.connection_stats,
+                base_rtt: o.base_rtt,
+            });
+            return (reply, None);
+        }
+        let key = cache::key_of(self);
+        if let Some(cell) = cache::lookup(&key) {
+            let m = scratch.metrics_mut();
+            m.merge(&cell.metrics);
+            m.add(Counter::CacheHits, 1);
+            let reply = cell.parts().map(|(logic, connections, connection_stats, base_rtt)| {
+                let mut fold = CompositeFold::new(query, base_rtt);
+                cell.replay_into(&mut fold);
+                scratch
+                    .metrics_mut()
+                    .gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
+                SessionReply {
+                    answer: fold.finish(query),
+                    logic,
+                    connections,
+                    connection_stats,
+                    base_rtt,
+                }
+            });
+            return (reply, Some(cell));
+        }
+        let before = scratch.metrics_mut().take();
+        let mut fold = CompositeFold::new(query, self.fold_rtt(query));
+        let out = self.run_uncached_streamed(scratch, &mut fold, true);
+        let delta = scratch.metrics_mut().take();
+        let m = scratch.metrics_mut();
+        m.merge(&before);
+        m.merge(&delta);
+        m.add(Counter::CacheMisses, 1);
+        let (cell, inserted) = cache::insert(key, &out, delta);
+        if inserted {
+            m.add(Counter::CacheBytesRetained, cell.bytes);
+        }
+        m.gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
+        let reply = out.map(|o| SessionReply {
+            answer: fold.finish(query),
+            logic: o.logic,
+            connections: o.connections,
+            connection_stats: o.connection_stats,
+            base_rtt: o.base_rtt,
+        });
+        (reply, Some(cell))
+    }
+
+    /// The RTT the ack-clock fold is parameterised with. Reads the path
+    /// description directly (not a completed engine), so streaming sessions
+    /// can build their fold before the run; equals
+    /// [`Engine::base_rtt`](vstream_app::engine::Engine) by construction.
+    fn fold_rtt(&self, query: &SessionQuery) -> SimDuration {
+        if query.ack_clock {
+            self.profile.build_path().base_rtt()
+        } else {
+            SimDuration::from_nanos(0)
+        }
     }
 
     /// A scratch pre-sized for this spec: the trace buffer starts at the
@@ -248,6 +379,26 @@ where
     T: Send,
     F: Fn(usize, &CellOutcome) -> T + Sync,
 {
+    batch_resolve(specs, jobs, |spec, scratch| spec.obtain(scratch), f)
+}
+
+/// [`batch_cached`] with the per-leader resolution step abstracted out, so
+/// [`query_many`](crate::query::query_many) reuses the dedup/fan-out/metric
+/// replay machinery with [`SessionSpec::obtain_reply`] as the resolver. The
+/// resolver returns the leader's value plus the retained cache cell (when
+/// cacheable), whose stored metrics delta is replayed once per duplicate.
+pub(crate) fn batch_resolve<R, T, G, F>(
+    specs: &[SessionSpec],
+    jobs: usize,
+    resolve: G,
+    f: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    G: Fn(&SessionSpec, &mut SessionScratch) -> (Option<R>, Option<Arc<cache::CachedCell>>)
+        + Sync,
+    F: Fn(usize, &R) -> T + Sync,
+{
     let cacheable = cache::is_active();
     let keys: Vec<cache::SessionKey> = specs
         .iter()
@@ -276,7 +427,7 @@ where
         || batch_scratch(specs),
         |scratch, u| {
             let leader = leaders[u];
-            let (out, cell) = specs[leader].obtain(scratch);
+            let (out, cell) = resolve(&specs[leader], scratch);
             members[u]
                 .iter()
                 .map(|&i| {
@@ -383,6 +534,7 @@ fn finish(
     logic: StrategyLogic,
     watch_time: Option<SimDuration>,
     scratch: &mut SessionScratch,
+    tap: Option<(&mut dyn PacketSink, bool)>,
 ) -> CellOutcome {
     let mut eng = Engine::with_scratch(
         profile.build_path(),
@@ -393,12 +545,18 @@ fn finish(
     let logic = match watch_time {
         Some(w) => {
             let mut wrapped = InterruptAfter::new(logic, w);
-            eng.run(&mut wrapped);
+            match tap {
+                Some((sink, keep)) => eng.run_observed(&mut wrapped, sink, keep),
+                None => eng.run(&mut wrapped),
+            }
             wrapped.inner
         }
         None => {
             let mut logic = logic;
-            eng.run(&mut logic);
+            match tap {
+                Some((sink, keep)) => eng.run_observed(&mut logic, sink, keep),
+                None => eng.run(&mut logic),
+            }
             logic
         }
     };

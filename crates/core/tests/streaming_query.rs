@@ -1,0 +1,132 @@
+//! End-to-end streaming/batch equivalence for the query layer.
+//!
+//! One test, deliberately: both the streaming flag and the session cache
+//! are process globals, so the four execution paths of
+//! `SessionSpec::obtain_reply` — batch, streaming-uncached, streaming
+//! cache-miss, streaming cache-hit (packed-column replay) — are driven in
+//! sequence from a single `#[test]` and their replies compared field by
+//! field. This is the session-level form of the fold-vs-oracle suite in
+//! `vstream-analysis`: the folds are proven against the column scans there;
+//! here the claim is that every path through the session layer feeds those
+//! folds the same packet stream.
+
+use vstream::prelude::*;
+use vstream::{cache, query_many_jobs, set_streaming, SessionQuery, SessionReply};
+
+/// A small shared cell: short captures keep the test fast, several seeds
+/// exercise the dedup/leader machinery, pacing produces real ON/OFF cycles.
+fn specs() -> Vec<SessionSpec> {
+    (0..4u64)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Firefox,
+                Container::Flash,
+                Video::new(i, 1_000_000, SimDuration::from_secs(600)),
+                NetworkProfile::Research,
+                0xF01D + i,
+                SimDuration::from_secs(45),
+            )
+            .shared()
+        })
+        .collect()
+}
+
+fn full_query() -> SessionQuery {
+    SessionQuery::default()
+        .download(SimDuration::from_millis(20))
+        .window(0)
+        .throughput(SimDuration::from_millis(100))
+        .onoff()
+        .phases()
+        .ack_clock()
+        .summaries()
+        .totals()
+}
+
+fn assert_replies_eq(a: &[Option<SessionReply>], b: &[Option<SessionReply>], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: reply count");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        let (ra, rb) = match (ra, rb) {
+            (Some(ra), Some(rb)) => (ra, rb),
+            (None, None) => continue,
+            _ => panic!("{ctx}: reply {i} presence differs"),
+        };
+        let (aa, ab) = (&ra.answer, &rb.answer);
+        assert_eq!(aa.download_mb, ab.download_mb, "{ctx}: reply {i} download");
+        assert_eq!(aa.window_series, ab.window_series, "{ctx}: reply {i} window");
+        assert_eq!(aa.throughput, ab.throughput, "{ctx}: reply {i} throughput");
+        let (oa, ob) = (
+            aa.onoff.as_ref().expect("onoff queried"),
+            ab.onoff.as_ref().expect("onoff queried"),
+        );
+        assert_eq!(oa.cycles, ob.cycles, "{ctx}: reply {i} cycles");
+        assert_eq!(oa.off_periods, ob.off_periods, "{ctx}: reply {i} off periods");
+        let (pa, pb) = (
+            aa.phases.as_ref().expect("phases queried"),
+            ab.phases.as_ref().expect("phases queried"),
+        );
+        assert_eq!(pa.start, pb.start, "{ctx}: reply {i} phase start");
+        assert_eq!(pa.buffering_end, pb.buffering_end, "{ctx}: reply {i} buffering end");
+        assert_eq!(pa.buffering_bytes, pb.buffering_bytes, "{ctx}: reply {i} buffering bytes");
+        assert_eq!(
+            pa.steady_state_rate_bps, pb.steady_state_rate_bps,
+            "{ctx}: reply {i} steady rate"
+        );
+        assert_eq!(pa.total_bytes, pb.total_bytes, "{ctx}: reply {i} total bytes");
+        assert_eq!(pa.duration, pb.duration, "{ctx}: reply {i} phase duration");
+        assert_eq!(aa.first_rtt_bytes, ab.first_rtt_bytes, "{ctx}: reply {i} first-rtt");
+        assert_eq!(aa.summaries, ab.summaries, "{ctx}: reply {i} summaries");
+        assert_eq!(aa.totals, ab.totals, "{ctx}: reply {i} totals");
+
+        assert_eq!(ra.connections, rb.connections, "{ctx}: reply {i} connections");
+        assert_eq!(
+            ra.connection_stats, rb.connection_stats,
+            "{ctx}: reply {i} connection stats"
+        );
+        assert_eq!(ra.base_rtt, rb.base_rtt, "{ctx}: reply {i} base rtt");
+        assert_eq!(
+            ra.player_stats(),
+            rb.player_stats(),
+            "{ctx}: reply {i} player stats"
+        );
+    }
+}
+
+#[test]
+fn streaming_paths_match_batch_replies() {
+    let specs = specs();
+    let query = full_query();
+
+    // Reference: batch mode (trace retained, replayed through the folds).
+    set_streaming(false);
+    let batch = query_many_jobs(&specs, 2, &query);
+    assert!(
+        batch.iter().all(Option::is_some),
+        "every session applies in this cell"
+    );
+    assert!(
+        batch[0].as_ref().unwrap().answer.totals.unwrap().packets > 0,
+        "sessions produce traffic"
+    );
+
+    // Path 2: streaming without a cache — live tap, no trace ever built.
+    set_streaming(true);
+    let streamed = query_many_jobs(&specs, 2, &query);
+    assert_replies_eq(&batch, &streamed, "streaming uncached vs batch");
+
+    // Paths 3 and 4: streaming with the cache installed. The first pass
+    // misses (live tap + transient trace packed into the cell); the second
+    // pass hits and replays the packed columns through a fresh fold.
+    cache::install();
+    let miss = query_many_jobs(&specs, 2, &query);
+    let hit = query_many_jobs(&specs, 2, &query);
+    // A batch-mode pass over the same warm cache unpacks the cell's columns
+    // instead of re-simulating — the fifth source of the same packet stream.
+    set_streaming(false);
+    let batch_hit = query_many_jobs(&specs, 2, &query);
+    cache::uninstall();
+
+    assert_replies_eq(&batch, &miss, "streaming cache-miss vs batch");
+    assert_replies_eq(&batch, &hit, "streaming cache-hit (packed replay) vs batch");
+    assert_replies_eq(&batch, &batch_hit, "batch cache-hit vs batch");
+}

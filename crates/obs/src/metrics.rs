@@ -222,6 +222,12 @@ slots! {
         AppPeakBufferBytes => "app_peak_buffer_bytes",
         /// Peak number of pending events in any session's queue.
         SimQueuePeakLen => "sim_queue_peak_len",
+        /// Peak bytes resident in any session's retained packet trace
+        /// (columns plus SACK side table), measured at harvest.
+        PeakTraceBytes => "peak_trace_bytes",
+        /// Peak bytes resident in any figure's streaming fold state
+        /// (per-flow high-water tables, cycle lists, series buffers).
+        PeakFlowstateBytes => "peak_flowstate_bytes",
     }
 }
 
@@ -256,6 +262,15 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CacheBytesRetained,
     ];
+}
+
+impl Gauge {
+    /// Gauges that measure the *execution* rather than the simulation: peak
+    /// trace residency depends on scratch reuse (worker layout) and on
+    /// whether the run retains traces at all (`--streaming`), and fold-state
+    /// residency exists only in streaming mode. The collector zeroes them
+    /// alongside wall time when byte-comparable ledgers are requested.
+    pub const EXECUTION_DEPENDENT: [Gauge; 2] = [Gauge::PeakTraceBytes, Gauge::PeakFlowstateBytes];
 }
 
 /// Per-network-profile counters, for questions that need the vantage-point
@@ -412,11 +427,15 @@ impl Metrics {
         std::mem::replace(self, Metrics::new())
     }
 
-    /// Zeroes the [`Counter::EXECUTION_DEPENDENT`] slots, making the
-    /// registry a pure function of the session set.
+    /// Zeroes the [`Counter::EXECUTION_DEPENDENT`] and
+    /// [`Gauge::EXECUTION_DEPENDENT`] slots, making the registry a pure
+    /// function of the session set.
     pub fn clear_execution_dependent(&mut self) {
         for c in Counter::EXECUTION_DEPENDENT {
             self.counters[c as usize] = 0;
+        }
+        for g in Gauge::EXECUTION_DEPENDENT {
+            self.gauges[g as usize] = 0;
         }
     }
 }

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Verifies the executor's and session cache's core invariant: `repro`
 # emits byte-identical CSVs — and, with wall-clock timing disabled, a
-# byte-identical metrics ledger — for any --jobs value and with the
-# session cache on or off. Runs the full suite three times (serial, a
-# multi-worker pool, and --no-cache) and diffs the output trees and
-# ledgers.
+# byte-identical metrics ledger — for any --jobs value, with the session
+# cache on or off, and with --streaming on or off. Runs the full suite
+# five times (serial, a multi-worker pool, --no-cache, and streaming mode
+# at both worker counts) and diffs the output trees and ledgers.
 #
 # The second pass uses max(nproc, 8) workers: even on a single-core host
 # this exercises the threaded executor path (8 OS threads racing over the
 # work queue), which is the path the determinism invariant protects. The
 # third pass re-simulates every session instead of reading the cache,
-# which is the path the purity invariant protects.
+# which is the path the purity invariant protects. The streaming passes
+# compute every figure through live packet-tap folds with no retained
+# traces, which is the path the streaming/batch equivalence contract
+# (DESIGN.md §11) protects — at both worker counts, so fold dispatch is
+# shown to be execution-order-free too.
 #
 # Usage: [JOBS=N] scripts/check_determinism.sh [repro-args...]
 #   e.g. scripts/check_determinism.sh --seed 7 --n 4
@@ -37,18 +41,35 @@ echo "==> pass 3: --no-cache"
 VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --no-cache --csv "$out/nocache" \
     --metrics "$out/nocache.metrics.json" "$@" > "$out/nocache.txt"
 
+echo "==> pass 4: --streaming --jobs 1"
+VSTREAM_WALL=off target/release/repro all --jobs 1 --streaming --csv "$out/stream1" \
+    --metrics "$out/stream1.metrics.json" "$@" > "$out/stream1.txt"
+
+echo "==> pass 5: --streaming --jobs $jobs_n"
+VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --streaming --csv "$out/streamN" \
+    --metrics "$out/streamN.metrics.json" "$@" > "$out/streamN.txt"
+
 diff -r "$out/jobs1" "$out/jobsN"
 diff -r "$out/jobs1" "$out/nocache"
+diff -r "$out/jobs1" "$out/stream1"
+diff -r "$out/jobs1" "$out/streamN"
 # The stdout reports embed the csv paths; compare them with the paths
 # normalised away.
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
      <(sed "s|$out/jobsN|CSV|" "$out/jobsN.txt")
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
      <(sed "s|$out/nocache|CSV|" "$out/nocache.txt")
-# The telemetry ledger must be jobs- and cache-invariant too (wall timing
-# is off, so every remaining quantity is a pure function of the session
-# set; the cache_* counters are execution-dependent and zeroed).
+diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
+     <(sed "s|$out/stream1|CSV|" "$out/stream1.txt")
+diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
+     <(sed "s|$out/streamN|CSV|" "$out/streamN.txt")
+# The telemetry ledger must be jobs-, cache-, and mode-invariant too (wall
+# timing is off, so every remaining quantity is a pure function of the
+# session set; the cache_* counters and peak_*_bytes gauges are
+# execution-dependent and zeroed).
 diff "$out/jobs1.metrics.json" "$out/jobsN.metrics.json"
 diff "$out/jobs1.metrics.json" "$out/nocache.metrics.json"
+diff "$out/jobs1.metrics.json" "$out/stream1.metrics.json"
+diff "$out/jobs1.metrics.json" "$out/streamN.metrics.json"
 
-echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, and --no-cache"
+echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, --no-cache, and --streaming"

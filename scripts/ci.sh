@@ -9,6 +9,11 @@
 #   3. metrics neutrality: a figure slice rendered with and without
 #      --metrics must produce byte-identical CSVs, and the ledger must be
 #      well-formed JSON carrying its schema_version key
+#   3b. streaming equality: the same figure slice rendered with
+#      --streaming (live packet-tap folds, no retained traces) must be
+#      byte-identical to the batch rendering, and its metered ledger must
+#      show the streaming memory inversion — zero peak_trace_bytes with
+#      the cache off, nonzero peak_flowstate_bytes
 #   4. the packed-format roundtrip suite in release mode: the columnar
 #      AoS-vs-SoA equivalence and pack/unpack exactness tests, compiled
 #      with release assertions so the checked truncation/corruption paths
@@ -42,10 +47,22 @@ diff -r "$obs_out/plain" "$obs_out/metered"
 python3 -m json.tool "$obs_out/metrics.json" > /dev/null
 grep -q '"schema_version"' "$obs_out/metrics.json"
 
+echo "==> streaming equality: --streaming must not change the figures"
+target/release/repro fig2 fig4 --streaming --csv "$obs_out/streaming" > /dev/null
+diff -r "$obs_out/plain" "$obs_out/streaming"
+# With the cache off no streaming session retains a trace at all, so the
+# wall-mode ledger must report peak_trace_bytes = 0 while the fold state
+# that replaced it registers as nonzero peak_flowstate_bytes.
+target/release/repro fig2 fig4 --streaming --no-cache --csv "$obs_out/streaming-nc" \
+    --metrics "$obs_out/streaming.metrics.json" > /dev/null
+diff -r "$obs_out/plain" "$obs_out/streaming-nc"
+grep -q '"peak_trace_bytes":0[,}]' "$obs_out/streaming.metrics.json"
+grep -qE '"peak_flowstate_bytes":[1-9]' "$obs_out/streaming.metrics.json"
+
 echo "==> packed-format roundtrip (release mode: checked unpack corruption paths)"
 cargo test --offline --release --quiet -p vstream-capture
 
 echo "==> bench smoke (quick mode, no JSON ledger)"
 cargo bench --offline -p vstream-bench --bench substrates -- --quick
 
-echo "OK: build, tests, determinism, metrics neutrality, roundtrip, and bench smoke all passed"
+echo "OK: build, tests, determinism, metrics neutrality, streaming equality, roundtrip, and bench smoke all passed"
