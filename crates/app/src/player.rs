@@ -11,6 +11,7 @@
 //! accumulation ratios below one, and unused bytes when the user interrupts
 //! playback.
 
+use vstream_obs::trace::{self, EventKind, SIDE_NONE};
 use vstream_obs::Hist;
 use vstream_sim::{SimDuration, SimTime};
 
@@ -32,10 +33,17 @@ enum PlayState {
 pub struct PlayerStats {
     /// Time from session start to first frame.
     pub startup_delay: Option<SimDuration>,
-    /// Number of mid-playback stalls.
+    /// Number of mid-playback stalls detected (incremented when the
+    /// buffer runs dry; a final stall the session never resumes from is
+    /// counted here but not in [`Self::stalls_completed`]).
     pub stalls: u32,
-    /// Total time spent stalled (excluding initial buffering).
+    /// Stalls that completed — playback resumed before the session ended.
+    pub stalls_completed: u32,
+    /// Total time spent stalled (excluding initial buffering; completed
+    /// stalls only).
     pub stall_time: SimDuration,
+    /// Longest completed stall.
+    pub stall_max: SimDuration,
     /// Peak buffer occupancy in bytes.
     pub peak_buffer_bytes: u64,
     /// Durations of completed stalls, in milliseconds.
@@ -62,6 +70,10 @@ pub struct Player {
     /// When the current stall (or initial wait) began.
     waiting_since: SimTime,
     started_at: Option<SimTime>,
+    /// Last power-of-two buffer bucket reported to the flight recorder.
+    /// Trace-only state: written solely under [`trace::enabled`], never
+    /// read by playback logic.
+    buffer_bucket: u32,
     stats: PlayerStats,
 }
 
@@ -87,6 +99,7 @@ impl Player {
             clock: SimTime::ZERO,
             waiting_since: SimTime::ZERO,
             started_at: None,
+            buffer_bucket: 0,
             stats: PlayerStats::default(),
         }
     }
@@ -96,7 +109,30 @@ impl Player {
         self.advance(now);
         self.fed = (self.fed + bytes).min(self.video_bytes);
         self.stats.peak_buffer_bytes = self.stats.peak_buffer_bytes.max(self.buffer_bytes());
+        self.trace_buffer_level(now);
         self.maybe_start(now);
+    }
+
+    /// Flight-recorder note when the buffer crosses a power-of-two level
+    /// boundary. The bucket field is only touched while tracing is on and
+    /// nothing in the player reads it, so behaviour is unchanged.
+    #[inline]
+    fn trace_buffer_level(&mut self, now: SimTime) {
+        if trace::enabled() {
+            let level = self.buffer_bytes();
+            let bucket = u64::BITS - level.leading_zeros();
+            if bucket != self.buffer_bucket {
+                self.buffer_bucket = bucket;
+                trace::emit(
+                    now.as_nanos(),
+                    EventKind::AppBufferLevel,
+                    SIDE_NONE,
+                    0,
+                    level,
+                    bucket as u64,
+                );
+            }
+        }
     }
 
     /// Advances playback to time `now`, consuming buffered bytes.
@@ -113,6 +149,14 @@ impl Player {
                 self.consumed = self.fed;
                 if self.consumed >= self.video_bytes {
                     self.state = PlayState::Finished;
+                    trace::emit(
+                        now.as_nanos(),
+                        EventKind::AppFinished,
+                        SIDE_NONE,
+                        0,
+                        self.stats.stall_time.as_nanos(),
+                        0,
+                    );
                 } else {
                     self.state = PlayState::Stalled;
                     // The stall began when the buffer actually emptied.
@@ -121,6 +165,15 @@ impl Player {
                     );
                     self.waiting_since = self.clock + drain_time;
                     self.stats.stalls += 1;
+                    // Detected now; the retroactive start travels in `a`.
+                    trace::emit(
+                        now.as_nanos(),
+                        EventKind::AppStallStart,
+                        SIDE_NONE,
+                        0,
+                        self.waiting_since.as_nanos(),
+                        self.stats.stalls as u64,
+                    );
                 }
             }
         }
@@ -135,13 +188,32 @@ impl Player {
             PlayState::Initial if threshold_met => {
                 self.state = PlayState::Playing;
                 self.started_at = Some(now);
-                self.stats.startup_delay = Some(now.saturating_duration_since(SimTime::ZERO));
+                let delay = now.saturating_duration_since(SimTime::ZERO);
+                self.stats.startup_delay = Some(delay);
+                trace::emit(
+                    now.as_nanos(),
+                    EventKind::AppStartup,
+                    SIDE_NONE,
+                    0,
+                    delay.as_nanos(),
+                    0,
+                );
             }
             PlayState::Stalled if threshold_met => {
                 self.state = PlayState::Playing;
                 let stalled = now.saturating_duration_since(self.waiting_since);
+                self.stats.stalls_completed += 1;
                 self.stats.stall_time += stalled;
+                self.stats.stall_max = self.stats.stall_max.max(stalled);
                 self.stats.stall_hist.record(stalled.as_nanos() / 1_000_000);
+                trace::emit(
+                    now.as_nanos(),
+                    EventKind::AppStallEnd,
+                    SIDE_NONE,
+                    0,
+                    stalled.as_nanos(),
+                    self.stats.stalls_completed as u64,
+                );
             }
             _ => {}
         }

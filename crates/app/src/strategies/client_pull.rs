@@ -138,6 +138,7 @@ impl ClientPullLogic {
 
     fn pull(&mut self, eng: &mut Engine) {
         self.blocks += 1;
+        super::trace_block_request(eng.now(), self.blocks);
         let n = eng.client_read(self.conn, self.cfg.block_bytes);
         self.read_total += n;
         self.player.feed(eng.now(), n);

@@ -212,6 +212,7 @@ impl NetflixLogic {
         let chunk = self.cfg.block_bytes().min(remaining);
         self.content_offset += chunk;
         self.blocks += 1;
+        super::trace_block_request(eng.now(), self.blocks);
         self.open_transfer(eng, ConnKind::Content, chunk);
     }
 
@@ -344,6 +345,7 @@ impl SessionLogic for NetflixLogic {
                 let conn = self.android_conn.expect("android connection open");
                 if room >= self.cfg.block_bytes() {
                     self.blocks += 1;
+                    super::trace_block_request(eng.now(), self.blocks);
                     let n = eng.client_read(conn, self.cfg.block_bytes());
                     self.content_read += n;
                     self.read_total += n;

@@ -131,6 +131,7 @@ impl RangeRequestLogic {
             self.inflight = Some((conn, chunk));
             self.requests_made += 1;
             self.blocks += 1;
+            super::trace_block_request(eng.now(), self.blocks);
         } else if !self.retry_armed {
             // Wait until playback frees enough room.
             let needed = chunk - self.room();

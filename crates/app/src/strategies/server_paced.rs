@@ -115,6 +115,7 @@ impl SessionLogic for ServerPacedLogic {
     fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
         debug_assert_eq!(id, BLOCK_TIMER);
         self.blocks += 1;
+        super::trace_block_request(eng.now(), self.blocks);
         self.write_next(eng, self.cfg.block_bytes);
     }
 

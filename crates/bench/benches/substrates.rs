@@ -249,6 +249,50 @@ fn bench_streaming_query(c: &mut Criterion) {
     }
 }
 
+/// Flight-recorder overhead on the paced 8-session fan-out (the same specs
+/// as the `parallel` group). The `off` row prices the disabled switch — one
+/// relaxed atomic load per emission site — and must sit within noise of the
+/// pr7-post `parallel/run_many_8_sessions_jobs1` numbers. The `on` row
+/// prices full ring recording: every cwnd sample, queue event, and player
+/// transition lands in the per-session ring. Dumps are anomaly-only and
+/// these healthy sessions trip no predicate, so no file I/O pollutes the
+/// measurement.
+fn bench_tracing(c: &mut Criterion) {
+    use vstream::flight;
+    use vstream_obs::trace;
+
+    const SESSIONS: u64 = 8;
+    let specs: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|i| {
+            SessionSpec::new(
+                Client::Firefox,
+                Container::Flash,
+                Video::new(i, 1_000_000, SimDuration::from_secs(2400)),
+                NetworkProfile::Research,
+                0x5E55 + i,
+                SimDuration::from_secs(180),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("tracing");
+    g.sample_size(10).measurement_time(Duration::from_secs(30)).warm_up_time(Duration::from_secs(2));
+    g.bench_function("run_many_8_sessions_trace_off", |b| {
+        trace::set_enabled(false);
+        b.iter(|| black_box(run_many_jobs(black_box(&specs), 1)))
+    });
+    g.bench_function("run_many_8_sessions_trace_on", |b| {
+        flight::install(flight::TraceConfig {
+            dir: std::env::temp_dir().join("vstream-bench-traces"),
+            anomalies_only: true,
+            ring_cap: flight::DEFAULT_RING,
+        })
+        .expect("create temp trace dir");
+        b.iter(|| black_box(run_many_jobs(black_box(&specs), 1)));
+        flight::uninstall();
+    });
+    g.finish();
+}
+
 fn bench_fluid_model(c: &mut Criterion) {
     use vstream_model::{FluidSim, FluidStrategy, PopulationModel};
     let pop = PopulationModel {
@@ -273,6 +317,7 @@ criterion_group!(
     bench_pack,
     bench_sessions_per_sec,
     bench_streaming_query,
+    bench_tracing,
     bench_fluid_model
 );
 criterion_main!(benches);

@@ -11,6 +11,8 @@
 //! repro all --progress            # per-figure timing lines on stderr
 //! repro all --no-cache            # re-simulate duplicate sessions
 //! repro all --streaming           # fold packets live, retain no traces
+//! repro fig4 --trace-dir traces/  # dump per-session flight-recorder files
+//! repro all --trace-dir traces/ --trace-anomalies   # anomalous sessions only
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: session seeds derive
@@ -32,6 +34,20 @@
 //! modes compute through the same folds — so the flag only trades where
 //! peak memory goes (`peak_trace_bytes` vs `peak_flowstate_bytes` in the
 //! ledger).
+//!
+//! `--trace-dir` turns the `vstream::flight` recorder on: each simulated
+//! session records structured events (TCP state/cwnd, queue drops, player
+//! stalls, block requests) into a bounded ring and dumps them as Chrome
+//! trace-event JSON plus a text timeline, named by session identity.
+//! Tracing never changes figures, ledgers, or the QoE table — the
+//! `scripts/ci.sh` trace-neutrality stage diffs them with the flag on and
+//! off. `--trace-anomalies` restricts dumps to sessions that stalled hard
+//! or hit a retransmit storm; `--trace-cap` resizes the ring.
+//!
+//! With `--csv`, the run also writes `qoe_sessions.csv` into the CSV tree:
+//! one QoE row (startup delay, stalls, stall ratio, block cadence) per
+//! spec-driven session, in deterministic figure/spec order on every
+//! execution mode.
 
 use std::fs;
 use std::path::PathBuf;
@@ -40,6 +56,7 @@ use std::time::Instant;
 use vstream::figures as f;
 use vstream::obs::{collector, ledger_json, ledger_summary};
 use vstream::report::{FigureData, TableData};
+use vstream::{flight, qoe};
 
 struct Options {
     seed: u64,
@@ -49,6 +66,9 @@ struct Options {
     metrics_summary: bool,
     progress: bool,
     no_cache: bool,
+    trace_dir: Option<PathBuf>,
+    trace_anomalies: bool,
+    trace_cap: Option<usize>,
 }
 
 fn main() {
@@ -61,6 +81,9 @@ fn main() {
         metrics_summary: false,
         progress: false,
         no_cache: false,
+        trace_dir: None,
+        trace_anomalies: false,
+        trace_cap: None,
     };
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.first().cloned() {
@@ -81,6 +104,12 @@ fn main() {
             "--progress" => opts.progress = true,
             "--no-cache" => opts.no_cache = true,
             "--streaming" => vstream::set_streaming(true),
+            "--trace-dir" => {
+                let dir: String = take_value(&mut args, "--trace-dir");
+                opts.trace_dir = Some(PathBuf::from(dir));
+            }
+            "--trace-anomalies" => opts.trace_anomalies = true,
+            "--trace-cap" => opts.trace_cap = Some(take_value(&mut args, "--trace-cap")),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -107,26 +136,63 @@ fn main() {
     if !opts.no_cache {
         vstream::cache::install();
     }
-    for id in &selected {
+    if let Some(dir) = &opts.trace_dir {
+        let ring_cap = opts.trace_cap.unwrap_or(if opts.trace_anomalies {
+            flight::ANOMALY_RING
+        } else {
+            flight::DEFAULT_RING
+        });
+        flight::install(flight::TraceConfig {
+            dir: dir.clone(),
+            anomalies_only: opts.trace_anomalies,
+            ring_cap,
+        })
+        .expect("create trace output directory");
+    }
+    // The QoE table rides the CSV tree: collect it whenever CSVs are asked
+    // for, so every `--csv` run (and every determinism diff of one) carries
+    // `qoe_sessions.csv`.
+    if opts.csv_dir.is_some() {
+        qoe::install();
+    }
+    let total = selected.len();
+    let mut sessions_total: u64 = 0;
+    let run_started = Instant::now();
+    for (k, id) in selected.iter().enumerate() {
         if opts.progress {
-            eprintln!("[repro] {id} ...");
+            eprintln!("[repro] ({}/{total}) {id} ...", k + 1);
         }
         let started = Instant::now();
         collector::begin_span(id);
+        qoe::begin_figure(id);
         run_one(id, &opts);
         let span = collector::end_span();
         if opts.progress {
             let secs = started.elapsed().as_secs_f64();
             let sessions = span.as_ref().map_or(0, |s| s.sessions);
+            sessions_total += sessions;
+            let elapsed = run_started.elapsed().as_secs_f64();
             if secs > 0.0 && sessions > 0 {
                 eprintln!(
-                    "[repro] {id} done in {secs:.2}s ({sessions} sessions, {:.1} sessions/s)",
+                    "[repro] ({}/{total}) {id} done in {secs:.2}s ({sessions} sessions, \
+                     {:.1} sessions/s; total {sessions_total} sessions, {elapsed:.2}s)",
+                    k + 1,
                     sessions as f64 / secs
                 );
             } else {
-                eprintln!("[repro] {id} done in {secs:.2}s");
+                eprintln!(
+                    "[repro] ({}/{total}) {id} done in {secs:.2}s \
+                     (total {sessions_total} sessions, {elapsed:.2}s)",
+                    k + 1
+                );
             }
         }
+    }
+    if let Some(csv) = qoe::take_csv() {
+        let dir = opts.csv_dir.as_ref().expect("qoe collector implies --csv");
+        let path = dir.join("qoe_sessions.csv");
+        fs::write(&path, csv).expect("write qoe csv");
+        println!("  wrote {}", path.display());
     }
     if let Some(ledger) = collector::take() {
         if opts.metrics_summary {
@@ -160,7 +226,8 @@ const ALL_IDS: [&str; 21] = [
 fn print_usage() {
     println!(
         "usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR] \
-         [--metrics PATH] [--metrics-summary] [--progress] [--no-cache] [--streaming]"
+         [--metrics PATH] [--metrics-summary] [--progress] [--no-cache] [--streaming] \
+         [--trace-dir DIR] [--trace-anomalies] [--trace-cap N]"
     );
     println!("ids: {}", ALL_IDS.join(" "));
 }

@@ -1,0 +1,402 @@
+//! Where flight-recorder rings become files: `repro --trace-dir`.
+//!
+//! The obs layer owns the ring ([`vstream_obs::trace`]); this module owns
+//! the policy around it — when a session is bracketed, which sessions get
+//! dumped, what the files are called, and the two dump formats:
+//!
+//! * `<session>.trace.json` — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev). Layers map
+//!   to threads (sim/net/tcp/app), discrete happenings are instant events,
+//!   and cwnd / queue-backlog / player-buffer samples are counter tracks.
+//! * `<session>.txt` — a plain-text timeline (one event per line, ms
+//!   timestamps at ns precision) with a QoE footer folded from the same
+//!   events.
+//!
+//! File names are derived from the session's identity (client, container,
+//! profile, video, seed, capture, watch time), never from execution
+//! context, and a session's event stream is a pure function of its spec —
+//! so the dump *set and bytes* are deterministic across `--jobs`, cache
+//! on/off, and `--streaming` on/off. Cache hits replay packed packets
+//! without re-running the engine, so they record no events and never
+//! rewrite a file (the miss that populated the cell already dumped the
+//! identical bytes).
+//!
+//! With `--trace-anomalies` only sessions tripping [`is_anomalous`] are
+//! written: a completed stall beyond [`ANOMALY_STALL_NS`] or at least
+//! [`ANOMALY_TIMEOUT_COUNT`] retransmission timeouts across the session's
+//! endpoints (a retransmit storm). The ring still records everything —
+//! the predicate is evaluated at session end, which is exactly why the
+//! recorder keeps the *last* N events rather than the first.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vstream_obs::trace::{self, Event, EventKind, QoeFold, Recorder, SIDE_CLIENT, SIDE_SERVER};
+
+use crate::session::{CellOutcome, SessionSpec};
+
+/// Default ring capacity for full `--trace-dir` dumps.
+pub const DEFAULT_RING: usize = 65_536;
+/// Default ring capacity in `--trace-anomalies` mode: the tail that
+/// explains an anomaly, not the whole session.
+pub const ANOMALY_RING: usize = 4_096;
+/// A completed stall at least this long trips the anomaly predicate (2 s).
+pub const ANOMALY_STALL_NS: u64 = 2_000_000_000;
+/// This many RTO fires across all endpoints trip the anomaly predicate.
+pub const ANOMALY_TIMEOUT_COUNT: u64 = 3;
+
+/// Dump policy installed by the CLI.
+pub struct TraceConfig {
+    /// Directory dump files are written into (created on install).
+    pub dir: PathBuf,
+    /// Dump only sessions tripping [`is_anomalous`].
+    pub anomalies_only: bool,
+    /// Ring capacity per session.
+    pub ring_cap: usize,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING);
+static CONFIG: Mutex<Option<TraceConfig>> = Mutex::new(None);
+
+/// Installs the dump policy, creates the dump directory, and turns the
+/// global tracing switch on.
+pub fn install(cfg: TraceConfig) -> std::io::Result<()> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    RING_CAP.store(cfg.ring_cap.max(1), Ordering::Release);
+    *CONFIG.lock().expect("flight config poisoned") = Some(cfg);
+    ACTIVE.store(true, Ordering::Release);
+    trace::set_enabled(true);
+    Ok(())
+}
+
+/// Turns tracing off and drops the dump policy.
+pub fn uninstall() {
+    trace::set_enabled(false);
+    ACTIVE.store(false, Ordering::Release);
+    *CONFIG.lock().expect("flight config poisoned") = None;
+}
+
+/// Whether a dump policy is installed.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Brackets a session about to run on this thread: installs a fresh ring
+/// when dumps are active. Returns whether a bracket was opened (the
+/// caller must then call [`session_end`]).
+#[inline]
+pub fn session_begin() -> bool {
+    if !is_active() {
+        return false;
+    }
+    trace::begin_session(RING_CAP.load(Ordering::Acquire));
+    true
+}
+
+/// Closes a session bracket: takes the ring and writes the dump files,
+/// subject to the anomaly policy. Compiled-out builds hand back no
+/// recorder, so this degrades to a no-op.
+pub fn session_end(spec: &SessionSpec, out: &CellOutcome) {
+    let Some(rec) = trace::end_session() else { return };
+    let g = CONFIG.lock().expect("flight config poisoned");
+    let Some(cfg) = g.as_ref() else { return };
+    if cfg.anomalies_only && !is_anomalous(out) {
+        return;
+    }
+    let stem = file_stem(spec);
+    let json = chrome_trace_json(&stem, &rec);
+    let text = text_timeline(&stem, &rec, out);
+    for (ext, body) in [("trace.json", &json), ("txt", &text)] {
+        let path = cfg.dir.join(format!("{stem}.{ext}"));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("[trace] failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The post-hoc anomaly predicate: a completed stall of at least
+/// [`ANOMALY_STALL_NS`], or at least [`ANOMALY_TIMEOUT_COUNT`] RTO fires
+/// summed over every endpoint (client and server, all connections).
+pub fn is_anomalous(out: &CellOutcome) -> bool {
+    let stats = out.player_stats();
+    if stats.stall_max.as_nanos() >= ANOMALY_STALL_NS {
+        return true;
+    }
+    total_timeouts(out) >= ANOMALY_TIMEOUT_COUNT
+}
+
+fn total_timeouts(out: &CellOutcome) -> u64 {
+    out.connection_stats
+        .iter()
+        .map(|(c, s)| c.timeouts + s.timeouts)
+        .sum()
+}
+
+/// Identity-derived dump file stem: every cache-key field appears, so two
+/// distinct sessions can never share a file and re-running the same spec
+/// rewrites identical bytes.
+pub fn file_stem(spec: &SessionSpec) -> String {
+    let mut stem = format!(
+        "{}-{}-{}-v{}-r{}-d{}-s{}-c{}",
+        slug(spec.client.label()),
+        slug(spec.container.label()),
+        slug(spec.profile.label()),
+        spec.video.id,
+        spec.video.encoding_bps,
+        spec.video.duration.as_nanos() / 1_000_000,
+        spec.seed,
+        spec.capture.as_nanos() / 1_000_000,
+    );
+    if let Some(w) = spec.watch_time {
+        stem.push_str(&format!("-w{}", w.as_nanos() / 1_000_000));
+    }
+    stem
+}
+
+/// Lowercased label with non-alphanumerics collapsed to single dashes
+/// ("Internet Explorer" → "internet-explorer", "iOS (native)" →
+/// "ios-native").
+fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut pending_dash = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_dash && !out.is_empty() {
+                out.push('-');
+            }
+            pending_dash = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_dash = true;
+        }
+    }
+    out
+}
+
+/// Chrome trace-event timeline thread per layer.
+fn layer_tid(kind: EventKind) -> u32 {
+    match kind.layer() {
+        "sim" => 1,
+        "net" => 2,
+        "tcp" => 3,
+        _ => 4,
+    }
+}
+
+fn side_name(side: u8) -> &'static str {
+    match side {
+        SIDE_CLIENT => "client",
+        SIDE_SERVER => "server",
+        _ => "-",
+    }
+}
+
+/// Human names for the two payload words, per kind (for dump readability).
+fn arg_names(kind: EventKind) -> (&'static str, &'static str) {
+    match kind {
+        EventKind::SimSpillPush => ("scheduled_for_ns", "b"),
+        EventKind::SimSpillPromote => ("promoted", "b"),
+        EventKind::SimSchedulePast => ("requested_ns", "b"),
+        EventKind::TcpState => ("from_state", "to_state"),
+        EventKind::TcpCwnd => ("cwnd", "ssthresh"),
+        EventKind::TcpRtoFire => ("timeouts", "flight_bytes"),
+        EventKind::TcpFastRetx => ("seq", "cwnd"),
+        EventKind::TcpSackEdge => ("start", "end"),
+        EventKind::NetQueueDrop => ("backlog_bytes", "packet_bytes"),
+        EventKind::NetRandomDrop => ("packet_bytes", "b"),
+        EventKind::NetBacklogHwm => ("backlog_bytes", "bucket"),
+        EventKind::AppStartup => ("delay_ns", "b"),
+        EventKind::AppStallStart => ("began_at_ns", "stalls"),
+        EventKind::AppStallEnd => ("duration_ns", "stalls_completed"),
+        EventKind::AppFinished => ("stall_total_ns", "b"),
+        EventKind::AppBufferLevel => ("buffer_bytes", "bucket"),
+        EventKind::AppBlockRequest => ("blocks", "b"),
+    }
+}
+
+/// Microseconds with 3 decimals from nanoseconds — the `ts` field of the
+/// Chrome trace-event format. Integer math keeps dumps byte-deterministic.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Milliseconds with 6 decimals from nanoseconds (text timelines).
+fn ts_ms(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
+}
+
+/// Counter-track events sample a value over time; everything else is an
+/// instant marker.
+fn is_counter(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::TcpCwnd | EventKind::NetBacklogHwm | EventKind::AppBufferLevel
+    )
+}
+
+/// Renders the ring as Chrome trace-event JSON (the `chrome://tracing` /
+/// Perfetto interchange format).
+pub fn chrome_trace_json(stem: &str, rec: &Recorder) -> String {
+    let events = rec.events();
+    let mut s = String::with_capacity(256 + events.len() * 160);
+    s.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    s.push_str(&format!(
+        "\"session\":\"{stem}\",\"events_recorded\":{},\"events_overwritten\":{},\"ring_capacity\":{}",
+        rec.len(),
+        rec.dropped(),
+        rec.capacity(),
+    ));
+    s.push_str("},\"traceEvents\":[\n");
+    s.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":\"{stem}\"}}}}"
+    ));
+    for (tid, name) in [(1, "sim"), (2, "net"), (3, "tcp"), (4, "app")] {
+        s.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+    for ev in &events {
+        s.push_str(",\n");
+        s.push_str(&chrome_event(ev));
+    }
+    s.push_str("\n]}\n");
+    s
+}
+
+fn chrome_event(ev: &Event) -> String {
+    let ts = ts_us(ev.at_ns);
+    let tid = layer_tid(ev.kind);
+    let cat = ev.kind.layer();
+    if is_counter(ev.kind) {
+        // One counter track per (kind, connection, side); the sampled
+        // value is the first payload word.
+        let (a_name, b_name) = arg_names(ev.kind);
+        let track = match ev.kind {
+            EventKind::TcpCwnd => {
+                format!("cwnd conn{} {}", ev.conn, side_name(ev.side))
+            }
+            EventKind::NetBacklogHwm => "queue_backlog_hwm".to_string(),
+            _ => "player_buffer".to_string(),
+        };
+        return format!(
+            "{{\"name\":\"{track}\",\"cat\":\"{cat}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+             \"tid\":{tid},\"args\":{{\"{a_name}\":{},\"{b_name}\":{}}}}}",
+            ev.a, ev.b,
+        );
+    }
+    let (a_name, b_name) = arg_names(ev.kind);
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\
+         \"tid\":{tid},\"args\":{{\"conn\":{},\"side\":\"{}\",\"{a_name}\":{},\"{b_name}\":{}}}}}",
+        ev.kind.name(),
+        ev.conn,
+        side_name(ev.side),
+        ev.a,
+        ev.b,
+    )
+}
+
+/// Renders the ring as a plain-text timeline with a QoE footer.
+pub fn text_timeline(stem: &str, rec: &Recorder, out: &CellOutcome) -> String {
+    let events = rec.events();
+    let mut s = String::with_capacity(256 + events.len() * 96);
+    s.push_str(&format!("# session {stem}\n"));
+    s.push_str(&format!(
+        "# events: {} recorded, {} overwritten (ring capacity {})\n",
+        rec.len(),
+        rec.dropped(),
+        rec.capacity(),
+    ));
+    s.push_str(&format!(
+        "# anomaly: {} (stall_max {} ms, timeouts {})\n",
+        if is_anomalous(out) { "YES" } else { "no" },
+        out.player_stats().stall_max.as_nanos() / 1_000_000,
+        total_timeouts(out),
+    ));
+    s.push_str("#       ms  layer  event\n");
+    let mut qoe = QoeFold::new();
+    for ev in &events {
+        qoe.push(ev);
+        let (a_name, b_name) = arg_names(ev.kind);
+        s.push_str(&format!(
+            "{:>16}  {:<5}  {:<18} conn={} side={} {a_name}={} {b_name}={}\n",
+            ts_ms(ev.at_ns),
+            ev.kind.layer(),
+            ev.kind.name(),
+            ev.conn,
+            side_name(ev.side),
+            ev.a,
+            ev.b,
+        ));
+    }
+    s.push_str(&format!(
+        "# qoe(events): startup_ns={} stalls={} completed={} stall_total_ns={} \
+         stall_max_ns={} blocks={} finished={}\n",
+        qoe.startup_ns.map_or(-1i64, |v| v as i64),
+        qoe.stalls,
+        qoe.stalls_completed,
+        qoe.stall_total_ns,
+        qoe.stall_max_ns,
+        qoe.blocks,
+        qoe.finished_at_ns.is_some(),
+    ));
+    s
+}
+
+#[cfg(all(test, not(vstream_obs_off)))]
+mod tests {
+    use super::*;
+    use vstream_obs::trace::SIDE_NONE;
+
+    fn rec_with(events: &[Event]) -> Recorder {
+        let mut r = Recorder::new(64);
+        for e in events {
+            r.push(*e);
+        }
+        r
+    }
+
+    #[test]
+    fn slug_collapses_labels() {
+        assert_eq!(slug("Internet Explorer"), "internet-explorer");
+        assert_eq!(slug("iOS (native)"), "ios-native");
+        assert_eq!(slug("Flash HD"), "flash-hd");
+        assert_eq!(slug("Research"), "research");
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_enough_to_hand_count() {
+        let r = rec_with(&[
+            Event {
+                at_ns: 1_500,
+                kind: EventKind::TcpCwnd,
+                side: SIDE_CLIENT,
+                conn: 2,
+                a: 14_480,
+                b: 65_535,
+            },
+            Event {
+                at_ns: 2_000,
+                kind: EventKind::AppStartup,
+                side: SIDE_NONE,
+                conn: 0,
+                a: 2_000,
+                b: 0,
+            },
+        ]);
+        let json = chrome_trace_json("demo", &r);
+        // 1 process_name + 4 thread_name + 2 events.
+        assert_eq!(json.matches("\"ph\":").count(), 7);
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"cwnd\":14480"));
+        assert!(json.contains("app_startup"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        // Balanced braces (no raw strings in the payload can unbalance
+        // them: all values are integers or fixed labels).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -54,11 +54,14 @@
 
 pub mod cache;
 pub mod figures;
+pub mod flight;
 pub mod obs;
+pub mod qoe;
 pub mod query;
 pub mod report;
 pub mod session;
 
+pub use qoe::{QoeRow, QoeSummary};
 pub use query::{
     query_many, query_many_jobs, set_streaming, streaming_enabled, SessionAnswer, SessionQuery,
     SessionReply,

@@ -72,6 +72,15 @@ pub struct SessionQuery {
     pub summaries: bool,
     /// Whole-capture totals (downloaded bytes, retx rate, duration).
     pub totals: bool,
+    /// Per-session QoE summary (startup delay, stalls, block cadence).
+    ///
+    /// Unlike every other feature this is not a packet fold: QoE is an
+    /// application-layer reduction of the player's unconditional
+    /// statistics ([`crate::qoe::QoeSummary::of`]), filled at reply
+    /// assembly from the session's strategy logic. It rides the same
+    /// every-path plumbing (batch replay, streaming tap, cache hit/miss),
+    /// so the answer is byte-identical across modes all the same.
+    pub qoe: bool,
     /// Thresholds for the cycle/phase analyses.
     pub config: AnalysisConfig,
 }
@@ -87,6 +96,7 @@ impl Default for SessionQuery {
             ack_clock: false,
             summaries: false,
             totals: false,
+            qoe: false,
             config: AnalysisConfig::default(),
         }
     }
@@ -149,6 +159,12 @@ impl SessionQuery {
         self
     }
 
+    /// Requests the per-session QoE summary.
+    pub fn qoe(mut self) -> Self {
+        self.qoe = true;
+        self
+    }
+
     fn wants_analysis(&self) -> bool {
         self.onoff || self.phases || self.ack_clock
     }
@@ -174,6 +190,8 @@ pub struct SessionAnswer {
     pub summaries: Option<Vec<ConnectionSummary>>,
     /// Whole-capture totals.
     pub totals: Option<CaptureTotals>,
+    /// Per-session QoE summary.
+    pub qoe: Option<crate::qoe::QoeSummary>,
 }
 
 /// Everything [`query_many`] returns per session: the computed features
@@ -197,6 +215,12 @@ impl SessionReply {
     /// The player statistics.
     pub fn player_stats(&self) -> PlayerStats {
         self.logic.player().stats()
+    }
+}
+
+impl crate::session::HasLogic for SessionReply {
+    fn strategy_logic(&self) -> &StrategyLogic {
+        &self.logic
     }
 }
 
@@ -261,6 +285,9 @@ impl CompositeFold {
             first_rtt_bytes,
             summaries: self.summaries.map(SummariesFold::finish),
             totals: self.totals.map(TotalsFold::finish),
+            // Not a packet fold — the reply assembler fills it from the
+            // session's strategy logic when the query asks.
+            qoe: None,
         }
     }
 }
@@ -299,8 +326,12 @@ pub(crate) fn reply_from_outcome(
     let mut fold = CompositeFold::new(query, out.base_rtt);
     out.trace.replay(&mut fold);
     metrics.gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
+    let mut answer = fold.finish(query);
+    if query.qoe {
+        answer.qoe = Some(crate::qoe::QoeSummary::of(&out.logic));
+    }
     SessionReply {
-        answer: fold.finish(query),
+        answer,
         logic: out.logic.clone(),
         connections: out.connections,
         connection_stats: out.connection_stats.clone(),

@@ -26,6 +26,7 @@ use vstream_workload::{logic_for, Client, Container, StrategyLogic};
 
 use crate::cache;
 use crate::query::{self, CompositeFold, SessionQuery, SessionReply};
+use crate::{flight, qoe};
 
 /// Worker count used by the figure/table drivers; `0` selects the host's
 /// available parallelism.
@@ -131,9 +132,16 @@ impl SessionSpec {
     }
 
     /// The engine path: always simulates, never consults the cache.
+    ///
+    /// This (and its streamed twin below) is where the flight recorder
+    /// brackets a session: a fresh per-session event ring before the
+    /// engine, a dump decision after. Cache hits never reach here, so they
+    /// record no events and never rewrite a dump — the miss that populated
+    /// the cell already wrote the identical bytes.
     fn run_uncached(&self, scratch: &mut SessionScratch) -> Option<CellOutcome> {
         let logic = logic_for(self.client, self.container, self.video)?;
-        Some(finish(
+        let bracket = flight::session_begin();
+        let out = finish(
             self.profile,
             self.seed,
             self.capture,
@@ -141,7 +149,11 @@ impl SessionSpec {
             self.watch_time,
             scratch,
             None,
-        ))
+        );
+        if bracket {
+            flight::session_end(self, &out);
+        }
+        Some(out)
     }
 
     /// The engine path with a live packet tap: every emitted packet is
@@ -157,7 +169,8 @@ impl SessionSpec {
         keep_trace: bool,
     ) -> Option<CellOutcome> {
         let logic = logic_for(self.client, self.container, self.video)?;
-        Some(finish(
+        let bracket = flight::session_begin();
+        let out = finish(
             self.profile,
             self.seed,
             self.capture,
@@ -165,7 +178,11 @@ impl SessionSpec {
             self.watch_time,
             scratch,
             Some((sink, keep_trace)),
-        ))
+        );
+        if bracket {
+            flight::session_end(self, &out);
+        }
+        Some(out)
     }
 
     /// Resolves the session: the outcome, plus the retained cache cell when
@@ -253,12 +270,18 @@ impl SessionSpec {
             scratch
                 .metrics_mut()
                 .gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
-            let reply = out.map(|o| SessionReply {
-                answer: fold.finish(query),
-                logic: o.logic,
-                connections: o.connections,
-                connection_stats: o.connection_stats,
-                base_rtt: o.base_rtt,
+            let reply = out.map(|o| {
+                let mut answer = fold.finish(query);
+                if query.qoe {
+                    answer.qoe = Some(qoe::QoeSummary::of(&o.logic));
+                }
+                SessionReply {
+                    answer,
+                    logic: o.logic,
+                    connections: o.connections,
+                    connection_stats: o.connection_stats,
+                    base_rtt: o.base_rtt,
+                }
             });
             return (reply, None);
         }
@@ -273,8 +296,12 @@ impl SessionSpec {
                 scratch
                     .metrics_mut()
                     .gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
+                let mut answer = fold.finish(query);
+                if query.qoe {
+                    answer.qoe = Some(qoe::QoeSummary::of(&logic));
+                }
                 SessionReply {
-                    answer: fold.finish(query),
+                    answer,
                     logic,
                     connections,
                     connection_stats,
@@ -296,12 +323,18 @@ impl SessionSpec {
             m.add(Counter::CacheBytesRetained, cell.bytes);
         }
         m.gauge_max(Gauge::PeakFlowstateBytes, fold.approx_bytes() as u64);
-        let reply = out.map(|o| SessionReply {
-            answer: fold.finish(query),
-            logic: o.logic,
-            connections: o.connections,
-            connection_stats: o.connection_stats,
-            base_rtt: o.base_rtt,
+        let reply = out.map(|o| {
+            let mut answer = fold.finish(query);
+            if query.qoe {
+                answer.qoe = Some(qoe::QoeSummary::of(&o.logic));
+            }
+            SessionReply {
+                answer,
+                logic: o.logic,
+                connections: o.connections,
+                connection_stats: o.connection_stats,
+                base_rtt: o.base_rtt,
+            }
         });
         (reply, Some(cell))
     }
@@ -382,11 +415,31 @@ where
     batch_resolve(specs, jobs, |spec, scratch| spec.obtain(scratch), f)
 }
 
+/// Access to the post-run strategy logic, implemented by every resolver
+/// product flowing through [`batch_resolve`] ([`CellOutcome`] and
+/// [`SessionReply`]). This is the hook the [QoE table](crate::qoe) rides:
+/// the batch layer derives one row per applicable session from whatever
+/// the resolver produced, on every resolution path alike.
+pub(crate) trait HasLogic {
+    fn strategy_logic(&self) -> &StrategyLogic;
+}
+
+impl HasLogic for CellOutcome {
+    fn strategy_logic(&self) -> &StrategyLogic {
+        &self.logic
+    }
+}
+
 /// [`batch_cached`] with the per-leader resolution step abstracted out, so
 /// [`query_many`](crate::query::query_many) reuses the dedup/fan-out/metric
 /// replay machinery with [`SessionSpec::obtain_reply`] as the resolver. The
 /// resolver returns the leader's value plus the retained cache cell (when
 /// cacheable), whose stored metrics delta is replayed once per duplicate.
+///
+/// When the [QoE collector](crate::qoe) is installed, each worker also
+/// derives a [`qoe::QoeRow`] per applicable member during the fan-out; the
+/// rows are scattered back by index and pushed to the collector in
+/// ascending spec order, so the table never sees worker interleaving.
 pub(crate) fn batch_resolve<R, T, G, F>(
     specs: &[SessionSpec],
     jobs: usize,
@@ -394,6 +447,7 @@ pub(crate) fn batch_resolve<R, T, G, F>(
     f: F,
 ) -> Vec<Option<T>>
 where
+    R: HasLogic,
     T: Send,
     G: Fn(&SessionSpec, &mut SessionScratch) -> (Option<R>, Option<Arc<cache::CachedCell>>)
         + Sync,
@@ -421,35 +475,53 @@ where
     for (i, &o) in owner.iter().enumerate() {
         members[o].push(i);
     }
-    let per_leader: Vec<Vec<(usize, Option<T>)>> = exec::par_indexed_with_finish(
-        leaders.len(),
-        jobs,
-        || batch_scratch(specs),
-        |scratch, u| {
-            let leader = leaders[u];
-            let (out, cell) = resolve(&specs[leader], scratch);
-            members[u]
-                .iter()
-                .map(|&i| {
-                    if i != leader {
-                        if let Some(cell) = &cell {
-                            let m = scratch.metrics_mut();
-                            m.merge(&cell.metrics);
-                            m.add(Counter::CacheHits, 1);
+    let collect_qoe = qoe::is_active();
+    let per_leader: Vec<Vec<(usize, Option<T>, Option<qoe::QoeRow>)>> =
+        exec::par_indexed_with_finish(
+            leaders.len(),
+            jobs,
+            || batch_scratch(specs),
+            |scratch, u| {
+                let leader = leaders[u];
+                let (out, cell) = resolve(&specs[leader], scratch);
+                members[u]
+                    .iter()
+                    .map(|&i| {
+                        if i != leader {
+                            if let Some(cell) = &cell {
+                                let m = scratch.metrics_mut();
+                                m.merge(&cell.metrics);
+                                m.add(Counter::CacheHits, 1);
+                            }
                         }
-                    }
-                    (i, out.as_ref().map(|o| f(i, o)))
-                })
-                .collect()
-        },
-        |mut scratch| scratch.flush_metrics(),
-    );
+                        let row = if collect_qoe {
+                            out.as_ref()
+                                .map(|o| qoe::QoeRow::of(&specs[i], o.strategy_logic()))
+                        } else {
+                            None
+                        };
+                        (i, out.as_ref().map(|o| f(i, o)), row)
+                    })
+                    .collect()
+            },
+            |mut scratch| scratch.flush_metrics(),
+        );
     let mut results: Vec<Option<T>> = Vec::with_capacity(specs.len());
     results.resize_with(specs.len(), || None);
+    let mut rows: Vec<Option<qoe::QoeRow>> = Vec::new();
+    if collect_qoe {
+        rows.resize_with(specs.len(), || None);
+    }
     for group in per_leader {
-        for (i, r) in group {
+        for (i, r, row) in group {
             results[i] = r;
+            if collect_qoe {
+                rows[i] = row;
+            }
         }
+    }
+    if collect_qoe {
+        qoe::push_batch(rows);
     }
     results
 }

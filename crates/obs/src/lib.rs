@@ -34,6 +34,7 @@ pub mod collector;
 pub mod ledger;
 pub mod metrics;
 pub mod table;
+pub mod trace;
 
 pub use ledger::{Ledger, SpanRecord, SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, Hist, HistId, Metrics, ProfileMetrics, MAX_PROFILES};

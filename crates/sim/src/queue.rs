@@ -40,6 +40,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
+use vstream_obs::trace::{self, EventKind, SIDE_NONE};
 use vstream_obs::Hist;
 
 use crate::time::SimTime;
@@ -429,6 +430,14 @@ impl<E> EventQueue<E> {
     /// them.
     pub fn try_schedule(&mut self, at: SimTime, event: E) -> Result<(), E> {
         if at < self.now {
+            trace::emit(
+                self.now.as_nanos(),
+                EventKind::SimSchedulePast,
+                SIDE_NONE,
+                0,
+                at.as_nanos(),
+                0,
+            );
             return Err(event);
         }
         self.push(at, event);
@@ -440,9 +449,23 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let entry = Entry { at, seq, event };
+        // Spill detection for the flight recorder without threading `now`
+        // through the wheel: the spill counter moves exactly when this push
+        // lands beyond the ring horizon.
+        let spills_before = self.stats.spill_pushes;
         match &mut self.backend {
             Backend::Heap(h) => h.push(entry),
             Backend::Wheel(w) => w.push(entry, &mut self.stats),
+        }
+        if trace::enabled() && self.stats.spill_pushes != spills_before {
+            trace::emit(
+                self.now.as_nanos(),
+                EventKind::SimSpillPush,
+                SIDE_NONE,
+                0,
+                at.as_nanos(),
+                0,
+            );
         }
         self.stats.scheduled += 1;
         let len = self.len() as u64;
@@ -462,13 +485,36 @@ impl<E> EventQueue<E> {
     /// Pops the earliest pending event and advances the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let promos_before = self.stats.spill_promotions;
         let entry = match &mut self.backend {
             Backend::Heap(h) => h.pop()?,
             Backend::Wheel(w) => w.pop(&mut self.stats)?,
         };
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
+        self.trace_promotions(promos_before);
         Some((entry.at, entry.event))
+    }
+
+    /// Emits one [`EventKind::SimSpillPromote`] event if the pop that just
+    /// completed advanced the wheel and migrated spill-heap entries back
+    /// into the ring. Stamped at the (already-updated) clock so the event
+    /// stream stays monotone.
+    #[inline]
+    fn trace_promotions(&self, promos_before: u64) {
+        if trace::enabled() {
+            let promoted = self.stats.spill_promotions - promos_before;
+            if promoted > 0 {
+                trace::emit(
+                    self.now.as_nanos(),
+                    EventKind::SimSpillPromote,
+                    SIDE_NONE,
+                    0,
+                    promoted,
+                    0,
+                );
+            }
+        }
     }
 
     /// Pops the earliest pending event if it fires at or before `limit`.
@@ -497,9 +543,11 @@ impl<E> EventQueue<E> {
                 if w.peek_time()? > limit {
                     return None;
                 }
+                let promos_before = self.stats.spill_promotions;
                 let entry = w.pop(&mut self.stats).expect("peeked entry");
                 debug_assert!(entry.at >= self.now);
                 self.now = entry.at;
+                self.trace_promotions(promos_before);
                 Some((entry.at, entry.event))
             }
         }

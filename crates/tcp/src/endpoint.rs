@@ -15,6 +15,7 @@
 //! The receive path acknowledges every data segment, so duplicate ACKs arise
 //! naturally from out-of-order arrivals.
 
+use vstream_obs::trace::{self, EventKind, SIDE_CLIENT, SIDE_SERVER};
 use vstream_obs::Hist;
 use vstream_sim::{SimDuration, SimTime};
 
@@ -48,6 +49,17 @@ pub enum State {
     SynRcvd,
     /// Data can flow.
     Established,
+}
+
+/// Stable ordinal carried in [`EventKind::TcpState`] trace payloads.
+fn state_ord(s: State) -> u64 {
+    match s {
+        State::Closed => 0,
+        State::Listen => 1,
+        State::SynSent => 2,
+        State::SynRcvd => 3,
+        State::Established => 4,
+    }
 }
 
 /// Counters for tests and analysis.
@@ -240,6 +252,24 @@ impl Endpoint {
         self.state == State::Established
     }
 
+    /// Emits one flight-recorder event attributed to this endpoint's
+    /// connection and side. Passive; one relaxed load when tracing is off.
+    #[inline]
+    fn trace_ev(&self, now: SimTime, kind: EventKind, a: u64, b: u64) {
+        let side = match self.role {
+            Role::Client => SIDE_CLIENT,
+            Role::Server => SIDE_SERVER,
+        };
+        trace::emit(now.as_nanos(), kind, side, self.conn as u16, a, b);
+    }
+
+    /// Changes connection state, recording the transition.
+    #[inline]
+    fn set_state(&mut self, now: SimTime, next: State) {
+        self.trace_ev(now, EventKind::TcpState, state_ord(self.state), state_ord(next));
+        self.state = next;
+    }
+
     /// Bytes the application can read right now.
     pub fn available_to_read(&self) -> u64 {
         self.rb.available()
@@ -403,7 +433,7 @@ impl Endpoint {
         match self.state {
             State::Listen => {
                 if seg.syn {
-                    self.state = State::SynRcvd;
+                    self.set_state(now, State::SynRcvd);
                     self.arm_rto(now);
                     out.push(self.make_segment(0, 0, true, false)); // SYN-ACK
                 }
@@ -412,7 +442,7 @@ impl Endpoint {
             }
             State::SynSent => {
                 if seg.syn && seg.ack {
-                    self.state = State::Established;
+                    self.set_state(now, State::Established);
                     self.disarm_rto();
                     if let Some((_, t)) = self.rtt_probe.take() {
                         self.rtt.sample(now.duration_since(t));
@@ -430,7 +460,7 @@ impl Endpoint {
                     return;
                 }
                 if seg.ack {
-                    self.state = State::Established;
+                    self.set_state(now, State::Established);
                     self.disarm_rto();
                 }
                 // Fall through: the ACK completing the handshake may carry
@@ -515,7 +545,7 @@ impl Endpoint {
     fn process_ack(&mut self, now: SimTime, seg: &Segment, out: &mut Vec<Segment>) {
         let highest_sendable = self.write_offset + u64::from(self.fin_sent);
         let ack_no = seg.ack_no.min(highest_sendable.max(self.snd_high));
-        self.absorb_sack(seg);
+        self.absorb_sack(now, seg);
 
         if ack_no > self.snd_una {
             let newly_acked = ack_no - self.snd_una;
@@ -546,6 +576,7 @@ impl Endpoint {
             self.absorb_window(seg);
             let outcome = self.cc.on_new_ack(now, newly_acked, ack_no, cwnd_limited);
             self.stats.cwnd_hist.record(self.cc.cwnd());
+            self.trace_ev(now, EventKind::TcpCwnd, self.cc.cwnd(), self.cc.ssthresh());
             match outcome {
                 NewAckOutcome::RecoveryPartial => {
                     if self.cfg.sack && !self.sacked.is_empty() {
@@ -585,6 +616,7 @@ impl Endpoint {
             // Duplicate ACK.
             if self.cc.on_duplicate_ack(now, self.snd_nxt - self.snd_una, self.snd_nxt) {
                 self.stats.fast_retransmits += 1;
+                self.trace_ev(now, EventKind::TcpFastRetx, self.snd_una, self.cc.cwnd());
                 out.push(self.retransmit_front(now));
                 // The front segment is the first hole; further holes are
                 // repaired as the scoreboard and pipe allow.
@@ -614,7 +646,7 @@ impl Endpoint {
     }
 
     /// Merges the peer's SACK blocks into the scoreboard.
-    fn absorb_sack(&mut self, seg: &Segment) {
+    fn absorb_sack(&mut self, now: SimTime, seg: &Segment) {
         if !self.cfg.sack {
             return;
         }
@@ -624,6 +656,7 @@ impl Endpoint {
             if start >= end {
                 continue;
             }
+            self.trace_ev(now, EventKind::TcpSackEdge, start, end);
             self.scoreboard_insert(start, end);
             // A SACKed retransmission has left the network.
             self.retx_pending_remove(start, end);
@@ -965,6 +998,7 @@ impl Endpoint {
                 self.rtt_probe = Some((0, now));
                 self.arm_rto(now);
                 self.stats.timeouts += 1;
+                self.trace_ev(now, EventKind::TcpRtoFire, self.stats.timeouts, 0);
                 out.push(self.make_segment(0, 0, true, false));
                 return;
             }
@@ -972,6 +1006,7 @@ impl Endpoint {
                 self.rtt.back_off();
                 self.arm_rto(now);
                 self.stats.timeouts += 1;
+                self.trace_ev(now, EventKind::TcpRtoFire, self.stats.timeouts, 0);
                 out.push(self.make_segment(0, 0, true, false));
                 return;
             }
@@ -982,6 +1017,7 @@ impl Endpoint {
             return; // spurious: everything was acked meanwhile
         }
         self.stats.timeouts += 1;
+        self.trace_ev(now, EventKind::TcpRtoFire, self.stats.timeouts, self.snd_nxt - self.snd_una);
         self.rtt.back_off();
         self.cc.on_timeout(self.snd_nxt - self.snd_una);
         self.retx_pending.clear();

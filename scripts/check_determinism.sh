@@ -2,9 +2,10 @@
 # Verifies the executor's and session cache's core invariant: `repro`
 # emits byte-identical CSVs — and, with wall-clock timing disabled, a
 # byte-identical metrics ledger — for any --jobs value, with the session
-# cache on or off, and with --streaming on or off. Runs the full suite
-# five times (serial, a multi-worker pool, --no-cache, and streaming mode
-# at both worker counts) and diffs the output trees and ledgers.
+# cache on or off, with --streaming on or off, and with --trace-dir on or
+# off. Runs the full suite seven times (serial, a multi-worker pool,
+# --no-cache, streaming mode at both worker counts, and two traced
+# passes) and diffs the output trees and ledgers.
 #
 # The second pass uses max(nproc, 8) workers: even on a single-core host
 # this exercises the threaded executor path (8 OS threads racing over the
@@ -14,7 +15,13 @@
 # compute every figure through live packet-tap folds with no retained
 # traces, which is the path the streaming/batch equivalence contract
 # (DESIGN.md §11) protects — at both worker counts, so fold dispatch is
-# shown to be execution-order-free too.
+# shown to be execution-order-free too. The traced passes (DESIGN.md §12)
+# hold two things at once: the flight recorder never perturbs any output
+# (CSV trees, QoE table, stdout, ledger all byte-match pass 1), and the
+# dump files themselves are deterministic — pass 6 runs batch at --jobs 1,
+# pass 7 streaming at --jobs N, and their trace directories must be
+# byte-identical file for file. A small --trace-cap bounds dump volume;
+# ring truncation is itself deterministic (last N events).
 #
 # Usage: [JOBS=N] scripts/check_determinism.sh [repro-args...]
 #   e.g. scripts/check_determinism.sh --seed 7 --n 4
@@ -49,10 +56,26 @@ echo "==> pass 5: --streaming --jobs $jobs_n"
 VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --streaming --csv "$out/streamN" \
     --metrics "$out/streamN.metrics.json" "$@" > "$out/streamN.txt"
 
+echo "==> pass 6: --trace-dir --jobs 1"
+VSTREAM_WALL=off target/release/repro all --jobs 1 --csv "$out/trace1" \
+    --trace-dir "$out/tr1" --trace-cap 1024 \
+    --metrics "$out/trace1.metrics.json" "$@" > "$out/trace1.txt"
+
+echo "==> pass 7: --trace-dir --streaming --jobs $jobs_n"
+VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --streaming --csv "$out/traceN" \
+    --trace-dir "$out/trN" --trace-cap 1024 \
+    --metrics "$out/traceN.metrics.json" "$@" > "$out/traceN.txt"
+
 diff -r "$out/jobs1" "$out/jobsN"
 diff -r "$out/jobs1" "$out/nocache"
 diff -r "$out/jobs1" "$out/stream1"
 diff -r "$out/jobs1" "$out/streamN"
+diff -r "$out/jobs1" "$out/trace1"
+diff -r "$out/jobs1" "$out/traceN"
+# The dump files must themselves be deterministic: batch serial vs
+# streaming multi-worker must produce the same file set with the same
+# bytes.
+diff -r "$out/tr1" "$out/trN"
 # The stdout reports embed the csv paths; compare them with the paths
 # normalised away.
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
@@ -63,6 +86,10 @@ diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
      <(sed "s|$out/stream1|CSV|" "$out/stream1.txt")
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
      <(sed "s|$out/streamN|CSV|" "$out/streamN.txt")
+diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
+     <(sed "s|$out/trace1|CSV|" "$out/trace1.txt")
+diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
+     <(sed "s|$out/traceN|CSV|" "$out/traceN.txt")
 # The telemetry ledger must be jobs-, cache-, and mode-invariant too (wall
 # timing is off, so every remaining quantity is a pure function of the
 # session set; the cache_* counters and peak_*_bytes gauges are
@@ -71,5 +98,7 @@ diff "$out/jobs1.metrics.json" "$out/jobsN.metrics.json"
 diff "$out/jobs1.metrics.json" "$out/nocache.metrics.json"
 diff "$out/jobs1.metrics.json" "$out/stream1.metrics.json"
 diff "$out/jobs1.metrics.json" "$out/streamN.metrics.json"
+diff "$out/jobs1.metrics.json" "$out/trace1.metrics.json"
+diff "$out/jobs1.metrics.json" "$out/traceN.metrics.json"
 
-echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, --no-cache, and --streaming"
+echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, --no-cache, --streaming, and --trace-dir (and the trace dumps themselves are deterministic)"

@@ -14,6 +14,10 @@
 #      byte-identical to the batch rendering, and its metered ledger must
 #      show the streaming memory inversion — zero peak_trace_bytes with
 #      the cache off, nonzero peak_flowstate_bytes
+#   3c. trace neutrality: the same slice rendered with --trace-dir must
+#      leave figures, the QoE table, and the wall-off ledger byte-identical
+#      while producing dump files, and every emitted Chrome trace JSON must
+#      parse
 #   4. the packed-format roundtrip suite in release mode: the columnar
 #      AoS-vs-SoA equivalence and pack/unpack exactness tests, compiled
 #      with release assertions so the checked truncation/corruption paths
@@ -59,10 +63,24 @@ diff -r "$obs_out/plain" "$obs_out/streaming-nc"
 grep -q '"peak_trace_bytes":0[,}]' "$obs_out/streaming.metrics.json"
 grep -qE '"peak_flowstate_bytes":[1-9]' "$obs_out/streaming.metrics.json"
 
+echo "==> trace neutrality: --trace-dir must not change figures, QoE table, or ledger"
+VSTREAM_WALL=off target/release/repro fig2 fig4 --csv "$obs_out/tr-plain" \
+    --metrics "$obs_out/tr-plain.metrics.json" > /dev/null
+VSTREAM_WALL=off target/release/repro fig2 fig4 --csv "$obs_out/tr-traced" \
+    --metrics "$obs_out/tr-traced.metrics.json" \
+    --trace-dir "$obs_out/tr-dumps" --trace-cap 4096 > /dev/null
+diff -r "$obs_out/tr-plain" "$obs_out/tr-traced"
+diff "$obs_out/tr-plain.metrics.json" "$obs_out/tr-traced.metrics.json"
+# Dumps must exist and every Chrome trace JSON must be valid JSON.
+ls "$obs_out/tr-dumps"/*.trace.json > /dev/null
+for dump in "$obs_out/tr-dumps"/*.trace.json; do
+    python3 -m json.tool "$dump" > /dev/null
+done
+
 echo "==> packed-format roundtrip (release mode: checked unpack corruption paths)"
 cargo test --offline --release --quiet -p vstream-capture
 
 echo "==> bench smoke (quick mode, no JSON ledger)"
 cargo bench --offline -p vstream-bench --bench substrates -- --quick
 
-echo "OK: build, tests, determinism, metrics neutrality, streaming equality, roundtrip, and bench smoke all passed"
+echo "OK: build, tests, determinism, metrics neutrality, streaming equality, trace neutrality, roundtrip, and bench smoke all passed"
