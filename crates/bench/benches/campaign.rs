@@ -1,0 +1,44 @@
+//! Campaign-mode scaling benchmark: the hybrid fluid/packet capacity
+//! planner at 10k, 100k and 1M concurrent viewers.
+//!
+//! Each iteration is a complete `repro campaign` run minus the I/O: sample
+//! the packet shard, reduce it shard-by-shard, cross-validate against the
+//! §6 closed forms, and render the capacity tables. The packet shard grows
+//! sublinearly with the viewer count (128 → 384 sessions across this
+//! group), which is the point of the hybrid design — wall clock should
+//! grow far slower than the 100× viewer span. Record runs with e.g.
+//!
+//! ```text
+//! cargo bench -p vstream-bench --bench campaign -- \
+//!     --json BENCH_repro_all.json --label campaign-scaling
+//! ```
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use vstream_bench::harness::Criterion;
+use vstream_bench::{criterion_group, criterion_main};
+
+use vstream::campaign::{run_campaign, CampaignOptions, CampaignSpec};
+
+fn run(viewers: u64) {
+    let spec = CampaignSpec::for_viewers(viewers);
+    let report =
+        run_campaign(&spec, &CampaignOptions::default()).expect("uninterrupted campaign");
+    assert!(report.validation.pass(), "default campaign must pass its own gate");
+    black_box(report);
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(2)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(1));
+    g.bench_function("viewers_10k", |b| b.iter(|| run(10_000)));
+    g.bench_function("viewers_100k", |b| b.iter(|| run(100_000)));
+    g.bench_function("viewers_1m", |b| b.iter(|| run(1_000_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -13,6 +13,8 @@
 //! repro all --streaming           # fold packets live, retain no traces
 //! repro fig4 --trace-dir traces/  # dump per-session flight-recorder files
 //! repro all --trace-dir traces/ --trace-anomalies   # anomalous sessions only
+//! repro campaign --viewers 1000000 --progress       # hybrid capacity plan
+//! repro campaign --ledger runs/ --max-shards 4      # checkpoint + resume
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: session seeds derive
@@ -48,6 +50,19 @@
 //! one QoE row (startup delay, stalls, stall ratio, block cadence) per
 //! spec-driven session, in deterministic figure/spec order on every
 //! execution mode.
+//!
+//! `repro campaign` is the hybrid fluid/packet capacity planner
+//! (`vstream::campaign`): a deterministic packet-level shard calibrates the
+//! §6 closed forms, which then price 10k → 1M+ concurrent viewers. It runs
+//! alone (not part of `all`), reuses `--seed`, `--jobs`, `--csv` and
+//! `--progress`, and adds `--viewers`, `--packet-sessions`, `--shard-size`,
+//! `--window`, `--ledger DIR` (checkpoint every shard, resume for free) and
+//! `--max-shards K` (stop after K computed shards — the scripted interrupt
+//! CI uses to prove resumed output is byte-identical). A failed
+//! cross-validation gate exits nonzero. The per-session QoE table is not
+//! collected on this path: a resumed campaign skips finished shards, and
+//! `qoe_sessions.csv` would otherwise differ between resumed and one-shot
+//! runs of identical campaigns.
 
 use std::fs;
 use std::path::PathBuf;
@@ -69,6 +84,12 @@ struct Options {
     trace_dir: Option<PathBuf>,
     trace_anomalies: bool,
     trace_cap: Option<usize>,
+    viewers: u64,
+    packet_sessions: Option<usize>,
+    shard_size: Option<usize>,
+    window_secs: Option<u64>,
+    ledger_dir: Option<PathBuf>,
+    max_shards: Option<usize>,
 }
 
 fn main() {
@@ -84,6 +105,12 @@ fn main() {
         trace_dir: None,
         trace_anomalies: false,
         trace_cap: None,
+        viewers: 1_000_000,
+        packet_sessions: None,
+        shard_size: None,
+        window_secs: None,
+        ledger_dir: None,
+        max_shards: None,
     };
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.first().cloned() {
@@ -110,6 +137,17 @@ fn main() {
             }
             "--trace-anomalies" => opts.trace_anomalies = true,
             "--trace-cap" => opts.trace_cap = Some(take_value(&mut args, "--trace-cap")),
+            "--viewers" => opts.viewers = take_value(&mut args, "--viewers"),
+            "--packet-sessions" => {
+                opts.packet_sessions = Some(take_value(&mut args, "--packet-sessions"))
+            }
+            "--shard-size" => opts.shard_size = Some(take_value(&mut args, "--shard-size")),
+            "--window" => opts.window_secs = Some(take_value(&mut args, "--window")),
+            "--ledger" => {
+                let dir: String = take_value(&mut args, "--ledger");
+                opts.ledger_dir = Some(PathBuf::from(dir));
+            }
+            "--max-shards" => opts.max_shards = Some(take_value(&mut args, "--max-shards")),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -120,6 +158,11 @@ fn main() {
     if selected.is_empty() {
         print_usage();
         return;
+    }
+    let campaign_mode = selected.iter().any(|s| s == "campaign");
+    if campaign_mode && selected.len() > 1 {
+        eprintln!("error: 'campaign' runs alone (it is a planner, not a figure)");
+        std::process::exit(2);
     }
     if selected.iter().any(|s| s == "all") {
         selected = ALL_IDS.iter().map(|s| s.to_string()).collect();
@@ -148,6 +191,11 @@ fn main() {
             ring_cap,
         })
         .expect("create trace output directory");
+    }
+    if campaign_mode {
+        run_campaign_cmd(&opts);
+        emit_metrics(&opts);
+        return;
     }
     // The QoE table rides the CSV tree: collect it whenever CSVs are asked
     // for, so every `--csv` run (and every determinism diff of one) carries
@@ -194,6 +242,10 @@ fn main() {
         fs::write(&path, csv).expect("write qoe csv");
         println!("  wrote {}", path.display());
     }
+    emit_metrics(&opts);
+}
+
+fn emit_metrics(opts: &Options) {
     if let Some(ledger) = collector::take() {
         if opts.metrics_summary {
             println!("{}", ledger_summary(&ledger));
@@ -201,6 +253,62 @@ fn main() {
         if let Some(path) = &opts.metrics_path {
             fs::write(path, ledger_json(&ledger)).expect("write metrics ledger");
             eprintln!("wrote metrics ledger to {}", path.display());
+        }
+    }
+}
+
+/// The `repro campaign` subcommand: build the spec from the shared and
+/// campaign-specific flags, run (or resume) it, print the gate verdict and
+/// tables, and exit nonzero on a failed cross-validation gate.
+fn run_campaign_cmd(opts: &Options) {
+    use vstream::campaign::{run_campaign, CampaignOptions, CampaignSpec};
+    if opts.viewers == 0 {
+        eprintln!("error: invalid value \"0\" for --viewers");
+        std::process::exit(2);
+    }
+    if opts.packet_sessions == Some(0) || opts.shard_size == Some(0) {
+        eprintln!("error: --packet-sessions and --shard-size must be nonzero");
+        std::process::exit(2);
+    }
+    if opts.window_secs == Some(0) {
+        eprintln!("error: invalid value \"0\" for --window");
+        std::process::exit(2);
+    }
+    let mut spec = CampaignSpec::for_viewers(opts.viewers);
+    spec.seed = opts.seed;
+    if let Some(n) = opts.packet_sessions {
+        spec.packet_sessions = n;
+    }
+    if let Some(s) = opts.shard_size {
+        spec.shard_size = s;
+    }
+    if let Some(w) = opts.window_secs {
+        spec.window_secs = w;
+    }
+    let copts = CampaignOptions {
+        jobs: 0, // resolved to the session layer's `--jobs`-driven default
+        ledger_dir: opts.ledger_dir.clone(),
+        max_shards: opts.max_shards,
+        progress: opts.progress,
+    };
+    println!("==> campaign");
+    match run_campaign(&spec, &copts) {
+        Some(report) => {
+            println!("campaign {:016x}", report.key);
+            println!("{}", report.validation.gate_line());
+            for table in &report.tables {
+                emit_table(table, opts);
+            }
+            if !report.validation.pass() {
+                emit_metrics(opts);
+                std::process::exit(1);
+            }
+        }
+        None => {
+            println!(
+                "campaign interrupted by --max-shards; completed shards are checkpointed \
+                 (rerun with the same spec and --ledger to resume)"
+            );
         }
     }
 }
@@ -228,6 +336,10 @@ fn print_usage() {
         "usage: repro [ids...|all] [--seed N] [--n N] [--jobs N] [--csv DIR] \
          [--metrics PATH] [--metrics-summary] [--progress] [--no-cache] [--streaming] \
          [--trace-dir DIR] [--trace-anomalies] [--trace-cap N]"
+    );
+    println!(
+        "       repro campaign [--viewers N] [--packet-sessions N] [--shard-size N] \
+         [--window SECS] [--ledger DIR] [--max-shards K] [shared flags]"
     );
     println!("ids: {}", ALL_IDS.join(" "));
 }

@@ -53,6 +53,7 @@
 //! benchmarks and the `repro` binary.
 
 pub mod cache;
+pub mod campaign;
 pub mod figures;
 pub mod flight;
 pub mod obs;
@@ -61,6 +62,9 @@ pub mod query;
 pub mod report;
 pub mod session;
 
+pub use campaign::{
+    run_campaign, CampaignOptions, CampaignReport, CampaignSpec, CampaignStrategy,
+};
 pub use qoe::{QoeRow, QoeSummary};
 pub use query::{
     query_many, query_many_jobs, set_streaming, streaming_enabled, SessionAnswer, SessionQuery,

@@ -209,6 +209,49 @@ pub fn dedup_by_key<K: Eq + Hash>(keys: &[K]) -> (Vec<usize>, Vec<usize>) {
     (leaders, owner)
 }
 
+/// A deterministic partition of `n` work items into fixed-size shards: the
+/// unit of checkpoint/resume for long campaigns.
+///
+/// Shards cover `0..n` contiguously in index order, each `shard_size` items
+/// except possibly the last. The plan is a pure function of `(n,
+/// shard_size)` — the resumable cursor is simply the number of completed
+/// shards, and a resumed run replays the identical plan regardless of
+/// worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Total work items.
+    pub total: usize,
+    /// Items per shard (the last shard may be smaller).
+    pub shard_size: usize,
+}
+
+impl ShardPlan {
+    /// Creates a plan; `shard_size` is clamped to at least 1.
+    pub fn new(total: usize, shard_size: usize) -> Self {
+        ShardPlan { total, shard_size: shard_size.max(1) }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.total.div_ceil(self.shard_size)
+    }
+
+    /// The `[start, end)` index range of shard `k`.
+    ///
+    /// # Panics
+    /// If `k` is not a valid shard index.
+    pub fn bounds(&self, k: usize) -> (usize, usize) {
+        assert!(k < self.shards(), "shard {k} out of range ({} shards)", self.shards());
+        let start = k * self.shard_size;
+        (start, (start + self.shard_size).min(self.total))
+    }
+
+    /// Iterates the shard ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.shards()).map(|k| self.bounds(k))
+    }
+}
+
 /// Maps `f` over `items` in parallel, preserving input order in the output.
 ///
 /// Convenience wrapper over [`par_indexed`] for callers that already hold a
@@ -372,6 +415,29 @@ mod tests {
         assert_eq!(dedup_by_key(&equal), (vec![0], vec![0, 0, 0, 0]));
         let empty: [u8; 0] = [];
         assert_eq!(dedup_by_key(&empty), (Vec::new(), Vec::new()));
+    }
+
+    #[test]
+    fn shard_plan_covers_every_index_exactly_once() {
+        for (n, size) in [(0usize, 4usize), (1, 4), (7, 3), (8, 4), (9, 4), (100, 1)] {
+            let plan = ShardPlan::new(n, size);
+            let mut covered = Vec::new();
+            for (start, end) in plan.iter() {
+                assert!(start < end, "empty shard in ({n}, {size})");
+                assert!(end - start <= size);
+                covered.extend(start..end);
+            }
+            assert_eq!(covered, (0..n).collect::<Vec<_>>(), "({n}, {size})");
+            assert_eq!(plan.shards(), n.div_ceil(size));
+        }
+    }
+
+    #[test]
+    fn shard_plan_clamps_zero_size() {
+        let plan = ShardPlan::new(5, 0);
+        assert_eq!(plan.shard_size, 1);
+        assert_eq!(plan.shards(), 5);
+        assert_eq!(plan.bounds(4), (4, 5));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 # cache on or off, with --streaming on or off, and with --trace-dir on or
 # off. Runs the full suite seven times (serial, a multi-worker pool,
 # --no-cache, streaming mode at both worker counts, and two traced
-# passes) and diffs the output trees and ledgers.
+# passes) and diffs the output trees and ledgers, then runs campaign mode
+# (the sharded, resumable hybrid executor) at both worker counts and
+# diffs its tables and stdout the same way.
 #
 # The second pass uses max(nproc, 8) workers: even on a single-core host
 # this exercises the threaded executor path (8 OS threads racing over the
@@ -66,6 +68,16 @@ VSTREAM_WALL=off target/release/repro all --jobs "$jobs_n" --streaming --csv "$o
     --trace-dir "$out/trN" --trace-cap 1024 \
     --metrics "$out/traceN.metrics.json" "$@" > "$out/traceN.txt"
 
+# Campaign mode has its own executor (sharded, resumable) on top of the
+# same session layer, so its worker-count invariance is checked separately
+# from the figure suite.
+echo "==> pass 8: campaign --jobs 1"
+VSTREAM_WALL=off target/release/repro campaign --viewers 10000 --jobs 1 \
+    --csv "$out/camp1" > "$out/camp1.txt"
+echo "==> pass 9: campaign --jobs $jobs_n"
+VSTREAM_WALL=off target/release/repro campaign --viewers 10000 --jobs "$jobs_n" \
+    --csv "$out/campN" > "$out/campN.txt"
+
 diff -r "$out/jobs1" "$out/jobsN"
 diff -r "$out/jobs1" "$out/nocache"
 diff -r "$out/jobs1" "$out/stream1"
@@ -76,6 +88,9 @@ diff -r "$out/jobs1" "$out/traceN"
 # streaming multi-worker must produce the same file set with the same
 # bytes.
 diff -r "$out/tr1" "$out/trN"
+diff -r "$out/camp1" "$out/campN"
+diff <(sed "s|$out/camp1|CSV|" "$out/camp1.txt") \
+     <(sed "s|$out/campN|CSV|" "$out/campN.txt")
 # The stdout reports embed the csv paths; compare them with the paths
 # normalised away.
 diff <(sed "s|$out/jobs1|CSV|" "$out/jobs1.txt") \
@@ -101,4 +116,4 @@ diff "$out/jobs1.metrics.json" "$out/streamN.metrics.json"
 diff "$out/jobs1.metrics.json" "$out/trace1.metrics.json"
 diff "$out/jobs1.metrics.json" "$out/traceN.metrics.json"
 
-echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, --no-cache, --streaming, and --trace-dir (and the trace dumps themselves are deterministic)"
+echo "OK: output and metrics ledger are byte-identical across --jobs 1, --jobs $jobs_n, --no-cache, --streaming, and --trace-dir (and the trace dumps and campaign mode are deterministic too)"

@@ -18,6 +18,10 @@
 #      leave figures, the QoE table, and the wall-off ledger byte-identical
 #      while producing dump files, and every emitted Chrome trace JSON must
 #      parse
+#   3d. campaign smoke: a small hybrid campaign passes its cross-validation
+#      gate, an interrupted run resumed from the checkpoint ledger emits
+#      byte-identical output, and the ledger's shard checkpoints and
+#      summary are well-formed
 #   4. the packed-format roundtrip suite in release mode: the columnar
 #      AoS-vs-SoA equivalence and pack/unpack exactness tests, compiled
 #      with release assertions so the checked truncation/corruption paths
@@ -77,10 +81,32 @@ for dump in "$obs_out/tr-dumps"/*.trace.json; do
     python3 -m json.tool "$dump" > /dev/null
 done
 
+echo "==> campaign smoke: gate passes, interrupt + resume is byte-identical, ledger parses"
+# One uninterrupted run (the gate FAILing would exit nonzero here), then
+# the same campaign executed as two interrupted runs against a checkpoint
+# ledger plus a resuming run — stdout must match the one-shot run byte for
+# byte, and the content-addressed ledger must hold every shard checkpoint
+# plus a well-formed summary.
+target/release/repro campaign --viewers 10000 --csv "$obs_out/camp-oneshot" \
+    > "$obs_out/camp-oneshot.txt"
+target/release/repro campaign --viewers 10000 --ledger "$obs_out/camp-ledger" \
+    --max-shards 1 > /dev/null
+target/release/repro campaign --viewers 10000 --ledger "$obs_out/camp-ledger" \
+    --max-shards 1 --jobs 8 > /dev/null
+target/release/repro campaign --viewers 10000 --ledger "$obs_out/camp-ledger" \
+    --jobs 8 --csv "$obs_out/camp-resumed" > "$obs_out/camp-resumed.txt"
+diff -r "$obs_out/camp-oneshot" "$obs_out/camp-resumed"
+diff <(sed "s|$obs_out/camp-oneshot|CSV|" "$obs_out/camp-oneshot.txt") \
+     <(sed "s|$obs_out/camp-resumed|CSV|" "$obs_out/camp-resumed.txt")
+ledger_dir=("$obs_out"/camp-ledger/campaign-*)
+test "$(ls "${ledger_dir[0]}"/shard-*.ckpt | wc -l)" -eq 4
+head -n 1 "${ledger_dir[0]}"/shard-0000.ckpt | grep -q '^vstream-campaign-shard v1$'
+grep -q '^gate PASS$' "${ledger_dir[0]}/summary.txt"
+
 echo "==> packed-format roundtrip (release mode: checked unpack corruption paths)"
 cargo test --offline --release --quiet -p vstream-capture
 
 echo "==> bench smoke (quick mode, no JSON ledger)"
 cargo bench --offline -p vstream-bench --bench substrates -- --quick
 
-echo "OK: build, tests, determinism, metrics neutrality, streaming equality, trace neutrality, roundtrip, and bench smoke all passed"
+echo "OK: build, tests, determinism, metrics neutrality, streaming equality, trace neutrality, campaign smoke, roundtrip, and bench smoke all passed"
