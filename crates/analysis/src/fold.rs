@@ -413,6 +413,116 @@ impl PacketSink for SummariesFold {
     }
 }
 
+/// The bitrate-switch quantities reduced from one capture.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchCounts {
+    /// Connections classified as carrying a ladder segment.
+    pub segments: u64,
+    /// Rung changes between consecutive segments.
+    pub switches: u64,
+}
+
+/// Streaming estimator of an ABR session's bitrate-switch count, from the
+/// wire alone: the DASH client fetches one segment per fresh connection, so
+/// each connection's unique incoming byte total is (close to) one ladder
+/// rung's segment size. [`finish`](SwitchRateFold::finish) classifies each
+/// connection to its nearest rung, in connection-id order (the request
+/// order), and counts rung changes. Memory is the per-flow table —
+/// O(flows), like every fold here.
+///
+/// The oracle is [`switch_counts_of`] over
+/// [`Trace::connection_summaries`] — the column-scan form the batch paths
+/// use; the streaming/batch equivalence suite holds the two equal.
+///
+/// [`Trace::connection_summaries`]: vstream_capture::Trace::connection_summaries
+#[derive(Clone, Debug, Default)]
+pub struct SwitchRateFold {
+    flows: FlowHighWater,
+}
+
+impl SwitchRateFold {
+    /// An empty switch-rate fold.
+    pub fn new() -> Self {
+        SwitchRateFold::default()
+    }
+
+    /// Classifies every connection against `ladder` (ascending bits per
+    /// second) at `segment_ms` playback per segment and counts rung
+    /// changes.
+    pub fn finish(self, ladder: &[u64], segment_ms: u64) -> SwitchCounts {
+        // `high` is the contiguous incoming sequence high-water mark, which
+        // is the connection's unique byte count (server sequence space
+        // starts at zero), in connection-id == request order.
+        count_switches(self.flows.high.iter().copied(), ladder, segment_ms)
+    }
+
+    /// Heap bytes held by the fold.
+    pub fn approx_bytes(&self) -> usize {
+        self.flows.approx_bytes()
+    }
+}
+
+impl PacketSink for SwitchRateFold {
+    fn packet(&mut self, p: &TapPacket) {
+        if p.is_incoming_data() {
+            self.flows.advance(p.conn, p.seq_end());
+        }
+    }
+}
+
+/// The column-scan oracle of [`SwitchRateFold`]: the same classification
+/// over per-connection summaries (already in connection-id order).
+pub fn switch_counts_of(
+    summaries: &[ConnectionSummary],
+    ladder: &[u64],
+    segment_ms: u64,
+) -> SwitchCounts {
+    count_switches(summaries.iter().map(|s| s.unique_bytes), ladder, segment_ms)
+}
+
+/// Shared reduction: nearest-rung classification per connection, switches
+/// counted between consecutive classified connections. Empty connections
+/// (zero unique bytes — e.g. a capture-truncated handshake) are skipped.
+fn count_switches(
+    per_conn_bytes: impl Iterator<Item = u64>,
+    ladder: &[u64],
+    segment_ms: u64,
+) -> SwitchCounts {
+    let mut out = SwitchCounts::default();
+    let mut prev: Option<usize> = None;
+    for bytes in per_conn_bytes {
+        if bytes == 0 {
+            continue;
+        }
+        let rung = nearest_rung(ladder, segment_ms, bytes);
+        out.segments += 1;
+        if let Some(p) = prev {
+            if p != rung {
+                out.switches += 1;
+            }
+        }
+        prev = Some(rung);
+    }
+    out
+}
+
+/// The ladder index whose expected segment size (`bits × ms / 8000`,
+/// floored — the client's own sizing rule) is nearest to `bytes`; ties go
+/// to the lower rung.
+fn nearest_rung(ladder: &[u64], segment_ms: u64, bytes: u64) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = u64::MAX;
+    for (i, &bps) in ladder.iter().enumerate() {
+        let expected = (bps as u128 * segment_ms as u128 / 8_000) as u64;
+        let dist = expected.abs_diff(bytes);
+        if dist < best_dist {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    best
+}
+
 /// Phase-decomposition state piggybacked on the cycle detector: cumulative
 /// unique-byte checkpoints at each raw cycle's edges, which is all
 /// [`SessionPhases`] needs (the buffering boundary is always a cycle edge).
@@ -762,6 +872,56 @@ mod tests {
             out.first_rtt_bytes.unwrap(),
             crate::ackclock::first_rtt_bytes(&t, &cfg, rtt)
         );
+    }
+
+    #[test]
+    fn switch_fold_matches_summaries_oracle_and_classifies_rungs() {
+        let ladder = [350_000u64, 1_000_000, 3_800_000];
+        let seg_ms = 4_000u64;
+        // Three segments on fresh connections: rung 0, rung 2, rung 2 —
+        // one up-switch. Sizes are the client's own `bits × ms / 8000`.
+        let sizes = [175_000u32, 1_900_000, 1_900_000];
+        let mut t = Trace::new();
+        let mut now = SimTime::from_millis(5);
+        for (conn, &size) in sizes.iter().enumerate() {
+            let mut seq = 0u64;
+            while seq < size as u64 {
+                let payload = 1448.min(size as u64 - seq) as u32;
+                t.push(now, TapDirection::Incoming, seg(conn as u32, seq, payload));
+                seq += payload as u64;
+                now = now + SimDuration::from_micros(400);
+            }
+            now = now + SimDuration::from_secs(2);
+        }
+        let mut fold = SwitchRateFold::new();
+        feed(&t, &mut fold);
+        let counts = fold.finish(&ladder, seg_ms);
+        assert_eq!(counts, SwitchCounts { segments: 3, switches: 1 });
+        assert_eq!(counts, switch_counts_of(&t.connection_summaries(), &ladder, seg_ms));
+        // A retransmission-riddled final segment still lands on its rung:
+        // classification reads unique bytes, not raw bytes.
+        let mut rx = seg(2, 0, 1448);
+        rx.retx = true;
+        t.push(now, TapDirection::Incoming, rx);
+        let mut fold = SwitchRateFold::new();
+        feed(&t, &mut fold);
+        assert_eq!(fold.finish(&ladder, seg_ms).switches, 1);
+    }
+
+    #[test]
+    fn switch_fold_ignores_empty_connections_and_empty_streams() {
+        let ladder = [350_000u64, 1_000_000];
+        assert_eq!(
+            SwitchRateFold::new().finish(&ladder, 4_000),
+            SwitchCounts::default()
+        );
+        // A connection with only an outgoing handshake never classifies.
+        let mut t = Trace::new();
+        t.push(SimTime::from_millis(1), TapDirection::Outgoing, seg(0, 0, 0));
+        t.push(SimTime::from_millis(2), TapDirection::Incoming, seg(1, 0, 175_000));
+        let mut fold = SwitchRateFold::new();
+        feed(&t, &mut fold);
+        assert_eq!(fold.finish(&ladder, 4_000), SwitchCounts { segments: 1, switches: 0 });
     }
 
     #[test]

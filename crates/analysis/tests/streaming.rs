@@ -12,8 +12,8 @@
 //! oracle rather than against its own mirror.
 
 use vstream_analysis::{
-    first_rtt_bytes, AnalysisConfig, AnalysisFold, DownloadFold, OnOffAnalysis, SessionPhases,
-    SummariesFold, ThroughputFold, TotalsFold, WindowFold,
+    first_rtt_bytes, switch_counts_of, AnalysisConfig, AnalysisFold, DownloadFold, OnOffAnalysis,
+    SessionPhases, SummariesFold, SwitchRateFold, ThroughputFold, TotalsFold, WindowFold,
 };
 use vstream_capture::{PackedTrace, PacketSink, TapDirection, Trace};
 use vstream_sim::{SimDuration, SimRng, SimTime};
@@ -241,6 +241,25 @@ fn assert_folds_match(trace: &Trace, packed: bool, ctx: &str) {
     let mut sf = SummariesFold::new();
     feed(trace, packed, &mut sf);
     assert_eq!(sf.finish(), trace.connection_summaries(), "{ctx}: summaries fold");
+
+    // Two ladders (the default DASH shape and a degenerate two-rung one):
+    // the wire-side switch estimate must agree with the summaries-scan
+    // oracle on arbitrary captures, not only on well-formed ABR sessions.
+    for (lk, ladder) in [
+        &[350_000u64, 600_000, 1_000_000, 1_600_000, 2_500_000, 3_800_000][..],
+        &[100_000, 5_000_000][..],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut swf = SwitchRateFold::new();
+        feed(trace, packed, &mut swf);
+        assert_eq!(
+            swf.finish(ladder, 4_000),
+            switch_counts_of(&trace.connection_summaries(), ladder, 4_000),
+            "{ctx}: switch fold (ladder {lk})"
+        );
+    }
 
     for (ci, cfg) in configs().into_iter().enumerate() {
         let rtt = SimDuration::from_millis(1);

@@ -13,9 +13,9 @@
 //! [`Engine::stop`].
 
 use vstream_capture::{NullSink, PacketSink, TapDirection, TapPacket, Trace};
-use vstream_net::{Direction, DuplexPath};
+use vstream_net::{Direction, DuplexPath, LrdCrossConfig};
 use vstream_obs::{collector, Counter, Gauge, HistId, Metrics};
-use vstream_sim::{EventQueue, QueueStats, SimDuration, SimRng, SimTime};
+use vstream_sim::{derive_seed, EventQueue, QueueStats, SimDuration, SimRng, SimTime};
 use vstream_tcp::{Endpoint, EndpointStats, Role, Segment, TcpConfig};
 
 /// Which endpoint of a connection pair.
@@ -31,6 +31,7 @@ enum Event {
     TcpTick { conn: usize, side: Side },
     AppTimer { id: u32 },
     CrossBurst,
+    LrdTick { src: u32 },
 }
 
 /// Competing traffic sharing the downlink bottleneck: bursts with
@@ -51,6 +52,32 @@ impl CrossTraffic {
         self.mean_burst_bytes as f64 * 8.0 / self.mean_period.as_secs_f64()
     }
 }
+
+/// One heavy-tailed on/off source of the LRD aggregate (state machine of
+/// [`LrdCrossConfig`]): Pareto-distributed ON periods emitted as peak-rate
+/// chunks, exponential OFF gaps. Each source owns a private RNG derived
+/// from the session seed and the source index, so the aggregate never
+/// perturbs the engine's main random stream — adding or removing LRD
+/// traffic must not reshuffle the loss pattern of the video flow itself.
+struct LrdSource {
+    rng: SimRng,
+    /// End of the current ON period; a tick at or past this instant opens
+    /// the next ON period (it was scheduled after an OFF gap).
+    on_until: SimTime,
+}
+
+struct LrdState {
+    cfg: LrdCrossConfig,
+    sources: Vec<LrdSource>,
+}
+
+/// ON periods are emitted in peak-rate chunks of this length, so a burst
+/// occupies the bottleneck progressively rather than as one packet-queue
+/// spike — matching how a competing TCP/UDP flow would actually drain.
+const LRD_CHUNK: SimDuration = SimDuration::from_millis(20);
+
+/// Seed-derivation tag for per-source LRD RNG streams.
+const LRD_SEED_TAG: u64 = 0x1BD0;
 
 struct Conn {
     client: Endpoint,
@@ -184,6 +211,7 @@ pub struct Engine {
     limit: SimTime,
     stopped: bool,
     cross_traffic: Option<CrossTraffic>,
+    lrd_cross: Option<LrdState>,
     /// Staging buffer the endpoints emit segments into; taken out of the
     /// engine around each `_into` call and drained by the transmit helpers.
     seg_buf: Vec<Segment>,
@@ -248,6 +276,7 @@ impl Engine {
             limit: SimTime::ZERO + capture_limit,
             stopped: false,
             cross_traffic: None,
+            lrd_cross: None,
             seg_buf,
             metrics,
             scratch_was_used: used,
@@ -269,6 +298,34 @@ impl Engine {
             "cross traffic must be configured before the session runs"
         );
         self.cross_traffic = Some(ct);
+    }
+
+    /// Adds a long-range-dependent cross-traffic aggregate on the downlink:
+    /// `cfg.sources` superposed Pareto-ON / exponential-OFF sources. Each
+    /// source's randomness comes from `derive_seed(seed, [tag, index])`, so
+    /// the aggregate is a pure function of `(cfg, seed)` — identical across
+    /// `--jobs` counts, streaming mode, and cache replay — and the engine's
+    /// main RNG (packet loss, strategy jitter) is untouched.
+    ///
+    /// # Panics
+    /// Panics if called after [`Engine::run`] has started processing events.
+    pub fn set_lrd_cross_traffic(&mut self, cfg: LrdCrossConfig, seed: u64) {
+        assert!(
+            self.now() == SimTime::ZERO,
+            "LRD cross traffic must be configured before the session runs"
+        );
+        assert!(cfg.sources > 0, "LRD aggregate needs at least one source");
+        assert!(
+            cfg.alpha_milli > 1000,
+            "LRD on periods need alpha > 1 for a finite mean"
+        );
+        let sources = (0..cfg.sources)
+            .map(|i| LrdSource {
+                rng: SimRng::new(derive_seed(seed, &[LRD_SEED_TAG, i as u64])),
+                on_until: SimTime::ZERO,
+            })
+            .collect();
+        self.lrd_cross = Some(LrdState { cfg, sources });
     }
 
     /// Current simulated time.
@@ -536,6 +593,16 @@ impl Engine {
         if self.cross_traffic.is_some() {
             self.schedule_cross_burst();
         }
+        if let Some(mut st) = self.lrd_cross.take() {
+            // Every source starts OFF with an independent exponential gap,
+            // so the aggregate does not begin with a synchronized burst.
+            for (i, src) in st.sources.iter_mut().enumerate() {
+                let gap = src.rng.exponential(1.0 / st.cfg.mean_off_secs());
+                let at = SimTime::ZERO + SimDuration::from_secs_f64(gap);
+                self.queue.schedule(at, Event::LrdTick { src: i as u32 });
+            }
+            self.lrd_cross = Some(st);
+        }
         logic.on_start(self);
         self.drain_tap(sink);
         // Safety valve: a streaming session is bounded by (capture seconds)
@@ -603,6 +670,9 @@ impl Engine {
                         self.path.occupy(Direction::Down, now, bytes.max(1));
                     }
                     self.schedule_cross_burst();
+                }
+                Event::LrdTick { src } => {
+                    self.lrd_tick(src);
                 }
             }
             self.drain_tap(sink);
@@ -683,6 +753,39 @@ impl Engine {
                 self.queue.schedule(at, Event::DeliverToClient { conn, seg });
             }
         }
+    }
+
+    /// Advances one LRD source's on/off state machine. A tick arriving at
+    /// or past `on_until` was scheduled across an OFF gap and opens a new
+    /// Pareto-length ON period; every tick then occupies the downlink with
+    /// up to one chunk of peak-rate bytes and schedules either the next
+    /// chunk (still ON) or the next period start (across an OFF gap).
+    fn lrd_tick(&mut self, src: u32) {
+        let now = self.now();
+        let Some(mut st) = self.lrd_cross.take() else { return };
+        {
+            let cfg = st.cfg;
+            let s = &mut st.sources[src as usize];
+            if now >= s.on_until {
+                let on = s.rng.pareto(cfg.on_x_min_secs(), cfg.alpha());
+                s.on_until = now + SimDuration::from_secs_f64(on);
+            }
+            // The final chunk of a period is pro-rated to the ON time it
+            // actually covers, so the aggregate's mean load is exactly
+            // `cfg.mean_load_bps()` rather than biased up by tail chunks.
+            let next_chunk = now + LRD_CHUNK;
+            let covered = s.on_until.min(next_chunk) - now;
+            let bytes = cfg.on_bytes(covered.as_nanos());
+            self.path.occupy(Direction::Down, now, bytes.max(1));
+            let at = if next_chunk < s.on_until {
+                next_chunk
+            } else {
+                let gap = s.rng.exponential(1.0 / cfg.mean_off_secs());
+                s.on_until + SimDuration::from_secs_f64(gap)
+            };
+            self.queue.schedule(at, Event::LrdTick { src });
+        }
+        self.lrd_cross = Some(st);
     }
 
     fn schedule_cross_burst(&mut self) {
@@ -899,6 +1002,67 @@ mod tests {
             congested > clean + SimDuration::from_secs(3),
             "cross traffic had no effect: clean {clean}, congested {congested}"
         );
+    }
+
+    #[test]
+    fn lrd_cross_traffic_slows_the_transfer_and_is_deterministic() {
+        use vstream_net::LrdCrossConfig;
+        let run = |cfg: Option<LrdCrossConfig>| {
+            let mut eng = Engine::new(
+                NetworkProfile::Home.build_path(), // 20 Mbps downlink
+                7,
+                SimDuration::from_secs(120),
+            );
+            if let Some(cfg) = cfg {
+                eng.set_lrd_cross_traffic(cfg, 99);
+            }
+            let mut logic = BulkLogic {
+                size: 20_000_000,
+                read_total: 0,
+                finished_at: None,
+            };
+            eng.run(&mut logic);
+            (logic.finished_at.expect("transfer completes"), eng.trace().len())
+        };
+        let (clean, _) = run(None);
+        let cfg = LrdCrossConfig::for_load(20_000_000, 500); // ~10 Mbps mean
+        let (congested, len_a) = run(Some(cfg));
+        let (again, len_b) = run(Some(cfg));
+        assert!(
+            congested > clean + SimDuration::from_secs(3),
+            "LRD traffic had no effect: clean {clean}, congested {congested}"
+        );
+        assert_eq!((congested, len_a), (again, len_b), "same (cfg, seed) must replay exactly");
+    }
+
+    #[test]
+    fn lrd_sources_do_not_perturb_the_main_rng() {
+        use vstream_net::LrdCrossConfig;
+        // On a loss-free path whose queue is never pressured (tiny load),
+        // the video flow's packet schedule depends only on the main RNG —
+        // which the LRD machinery must never touch. The *byte* stream is
+        // identical; arrival jitter from sharing the link is fine, so we
+        // compare totals rather than packet timings.
+        let run = |with_lrd: bool| {
+            let mut eng = Engine::new(
+                NetworkProfile::Research.build_path(),
+                13,
+                SimDuration::from_secs(30),
+            );
+            if with_lrd {
+                let mut cfg = LrdCrossConfig::for_load(100_000_000, 1);
+                cfg.sources = 2;
+                eng.set_lrd_cross_traffic(cfg, 4);
+            }
+            let mut logic = BulkLogic {
+                size: 1_000_000,
+                read_total: 0,
+                finished_at: None,
+            };
+            eng.run(&mut logic);
+            logic.read_total
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

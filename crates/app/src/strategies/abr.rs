@@ -1,0 +1,364 @@
+//! Adaptive-bitrate (DASH-style) streaming: the rate-adaptation behaviour
+//! the paper's Table 1 clients were just beginning to adopt in 2011.
+//!
+//! The client fetches the video as fixed-playback-length segments, each on
+//! a *fresh TCP connection* (the Netflix PC pattern of §5.2.2), and picks
+//! each segment's encoding rate from a discrete ladder using two signals:
+//!
+//! 1. a **throughput estimate** — an EWMA of per-segment delivery rates
+//!    (wire bytes over request-to-EOF time), discounted by a safety factor
+//!    so transient peaks don't trigger doomed up-switches; and
+//! 2. a **buffer-occupancy guard** — below a low watermark the client
+//!    abandons the estimate entirely and drops to the lowest rung, the
+//!    "panic mode" every production ABR loop ships.
+//!
+//! Above a target buffer level the client idles between requests, so the
+//! wire pattern is the familiar ON-OFF cycle structure of §5.1 with the
+//! block size now *varying* with the selected rung. Every rung change is
+//! recorded as an [`EventKind::AppBitrateSwitch`] flight-recorder event and
+//! counted for the QoE table's switch-rate column.
+
+use vstream_obs::trace::{self, EventKind, SIDE_NONE};
+use vstream_sim::{SimDuration, SimTime};
+use vstream_tcp::TcpConfig;
+
+use crate::engine::{Engine, SessionLogic};
+use crate::player::Player;
+use crate::strategies::{rate_delay, server_tcp, startup_threshold};
+use crate::video::{rate_bytes_ms, Video};
+
+/// Parameters of the ABR strategy.
+#[derive(Clone, Debug)]
+pub struct AbrConfig {
+    /// Available encoding rates in bits per second, ascending.
+    pub ladder: Vec<u64>,
+    /// Playback seconds per segment (DASH deployments: 2–10 s).
+    pub segment_secs: f64,
+    /// Buffer level (seconds of playback) above which the client idles
+    /// instead of requesting the next segment.
+    pub target_buffer_secs: f64,
+    /// Buffer level below which the client panics to the lowest rung.
+    pub low_watermark_secs: f64,
+    /// Fraction of the throughput estimate considered spendable, in
+    /// thousandths (800 = pick the highest rung ≤ 0.8 × estimate).
+    pub safety_permille: u32,
+    /// EWMA weight of the newest rate sample, in thousandths.
+    pub ewma_permille: u32,
+}
+
+impl Default for AbrConfig {
+    fn default() -> Self {
+        AbrConfig {
+            ladder: vec![350_000, 600_000, 1_000_000, 1_600_000, 2_500_000, 3_800_000],
+            segment_secs: 4.0,
+            target_buffer_secs: 30.0,
+            low_watermark_secs: 8.0,
+            safety_permille: 800,
+            ewma_permille: 300,
+        }
+    }
+}
+
+impl AbrConfig {
+    /// Whole milliseconds of playback per segment.
+    fn segment_ms(&self) -> u64 {
+        (self.segment_secs * 1000.0).round() as u64
+    }
+}
+
+/// Per-connection bookkeeping: one entry per segment request.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    /// Wire bytes this connection carries.
+    wire_bytes: u64,
+    /// Playback milliseconds this segment covers (at any rung).
+    media_ms: u64,
+    /// When the request was issued (fresh connection opened).
+    requested_at: SimTime,
+}
+
+const REQUEST_TIMER: u32 = 1;
+
+/// Session logic for adaptive-bitrate streaming.
+#[derive(Clone)]
+pub struct AbrLogic {
+    cfg: AbrConfig,
+    video: Video,
+    /// The playback model, fed in *nominal-rate* bytes so buffer occupancy
+    /// measures playback time regardless of which rung each segment used.
+    pub player: Player,
+    /// Per-connection segment bookkeeping.
+    conns: Vec<Segment>,
+    /// The in-flight segment's connection, if any.
+    inflight: Option<usize>,
+    /// Playback milliseconds requested so far.
+    media_offset_ms: u64,
+    /// Current ladder rung index.
+    rung: usize,
+    /// EWMA delivery-rate estimate in bits per second (0 until the first
+    /// sample lands; the first segment always uses the lowest rung).
+    estimate_bps: f64,
+    /// Total wire bytes read (across all rungs).
+    pub read_total: u64,
+    /// Segments fetched (each one an ON period on a fresh connection).
+    pub blocks: u64,
+    /// Rung changes after the initial selection.
+    pub switches: u64,
+    timer_armed: bool,
+}
+
+impl AbrLogic {
+    /// Creates the logic for one video. The video's `encoding_bps` is the
+    /// *nominal* media rate used for buffer accounting; the wire rate of
+    /// each segment comes from the ladder.
+    pub fn new(cfg: AbrConfig, video: Video) -> Self {
+        assert!(!cfg.ladder.is_empty(), "ABR needs a non-empty ladder");
+        debug_assert!(cfg.ladder.windows(2).all(|w| w[0] < w[1]), "ladder must ascend");
+        let player = Player::new(video.encoding_bps, startup_threshold(&video), video.size_bytes());
+        AbrLogic {
+            cfg,
+            video,
+            player,
+            conns: Vec::new(),
+            inflight: None,
+            media_offset_ms: 0,
+            rung: 0,
+            estimate_bps: 0.0,
+            read_total: 0,
+            blocks: 0,
+            switches: 0,
+            timer_armed: false,
+        }
+    }
+
+    /// The video being streamed (nominal rate).
+    pub fn video(&self) -> Video {
+        self.video
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &AbrConfig {
+        &self.cfg
+    }
+
+    /// The currently selected encoding rate in bits per second.
+    pub fn current_rate(&self) -> u64 {
+        self.cfg.ladder[self.rung]
+    }
+
+    /// The current throughput estimate in bits per second (0 before the
+    /// first segment completes).
+    pub fn estimate_bps(&self) -> f64 {
+        self.estimate_bps
+    }
+
+    /// Total playback milliseconds of the video.
+    fn duration_ms(&self) -> u64 {
+        self.video.duration_ms()
+    }
+
+    /// Current buffer occupancy in playback milliseconds.
+    fn buffer_ms(&self) -> u64 {
+        // The player holds nominal-rate bytes, so bytes → ms is exact
+        // integer math at the nominal rate.
+        (self.player.buffer_bytes() as u128 * 8_000 / self.video.encoding_bps as u128) as u64
+    }
+
+    /// Picks the rung for the next segment and records any switch.
+    fn adapt(&mut self, now: SimTime) {
+        let next = if self.buffer_ms() < (self.cfg.low_watermark_secs * 1000.0) as u64 {
+            // Panic mode: the buffer is nearly dry, nothing but the lowest
+            // rung is defensible regardless of what the estimate says.
+            0
+        } else if self.estimate_bps > 0.0 {
+            let spendable = self.estimate_bps * self.cfg.safety_permille as f64 / 1000.0;
+            self.cfg
+                .ladder
+                .iter()
+                .rposition(|&r| r as f64 <= spendable)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        if next != self.rung && self.blocks > 0 {
+            self.switches += 1;
+            trace::emit(
+                now.as_nanos(),
+                EventKind::AppBitrateSwitch,
+                SIDE_NONE,
+                0,
+                self.cfg.ladder[next],
+                self.cfg.ladder[self.rung],
+            );
+        }
+        self.rung = next;
+    }
+
+    /// Requests the next segment now, or arms a timer for when the buffer
+    /// has drained to the target.
+    fn maybe_request_next(&mut self, eng: &mut Engine) {
+        if self.inflight.is_some() || self.media_offset_ms >= self.duration_ms() {
+            return;
+        }
+        self.player.advance(eng.now());
+        let target_ms = (self.cfg.target_buffer_secs * 1000.0) as u64;
+        let buffered = self.buffer_ms();
+        if buffered > target_ms && !self.timer_armed {
+            // Idle (the OFF period) until playback drains to the target.
+            let excess = self.video.playback_bytes_ms(buffered - target_ms);
+            let delay = rate_delay(excess, self.video.encoding_bps)
+                .max(SimDuration::from_millis(10));
+            eng.schedule_app_timer(delay, REQUEST_TIMER);
+            self.timer_armed = true;
+            return;
+        }
+        if buffered > target_ms {
+            return;
+        }
+        self.adapt(eng.now());
+        let media_ms = self.cfg.segment_ms().min(self.duration_ms() - self.media_offset_ms);
+        let wire_bytes = rate_bytes_ms(self.current_rate(), media_ms).max(1);
+        let client_cfg = TcpConfig::default().with_recv_buffer(2 << 20);
+        let conn = eng.open_connection(client_cfg, server_tcp());
+        debug_assert_eq!(conn, self.conns.len());
+        self.conns.push(Segment {
+            wire_bytes,
+            media_ms,
+            requested_at: eng.now(),
+        });
+        self.inflight = Some(conn);
+        self.media_offset_ms += media_ms;
+        self.blocks += 1;
+        super::trace_block_request(eng.now(), self.blocks);
+    }
+}
+
+impl SessionLogic for AbrLogic {
+    fn on_start(&mut self, eng: &mut Engine) {
+        self.maybe_request_next(eng);
+    }
+
+    fn on_established(&mut self, eng: &mut Engine, conn: usize) {
+        if self.inflight == Some(conn) {
+            let bytes = self.conns[conn].wire_bytes;
+            eng.server_write(conn, bytes);
+            eng.server_close(conn);
+        }
+    }
+
+    fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
+        // Read greedily; the player is fed whole segments at EOF (players
+        // buffer complete segments before handing them to the decoder).
+        self.read_total += eng.client_read(conn, u64::MAX);
+    }
+
+    fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
+        if self.inflight != Some(conn) {
+            return;
+        }
+        self.inflight = None;
+        let seg = self.conns[conn];
+        let elapsed = eng.now() - seg.requested_at;
+        if elapsed > SimDuration::ZERO {
+            let sample = seg.wire_bytes as f64 * 8e9 / elapsed.as_nanos() as f64;
+            let w = self.cfg.ewma_permille as f64 / 1000.0;
+            self.estimate_bps = if self.estimate_bps == 0.0 {
+                sample
+            } else {
+                (1.0 - w) * self.estimate_bps + w * sample
+            };
+        }
+        // Credit the player with the segment's playback time in
+        // nominal-rate bytes, whatever rung carried it.
+        self.player.feed(eng.now(), self.video.playback_bytes_ms(seg.media_ms));
+        self.maybe_request_next(eng);
+    }
+
+    fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
+        debug_assert_eq!(id, REQUEST_TIMER);
+        self.timer_armed = false;
+        self.maybe_request_next(eng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstream_net::{LrdCrossConfig, NetworkProfile};
+
+    fn run_on(
+        profile: NetworkProfile,
+        lrd: Option<LrdCrossConfig>,
+        secs: u64,
+        seed: u64,
+    ) -> (Engine, AbrLogic) {
+        let mut eng = Engine::new(profile.build_path(), seed, SimDuration::from_secs(secs));
+        if let Some(cfg) = lrd {
+            eng.set_lrd_cross_traffic(cfg, seed);
+        }
+        let video = Video::new(1, 1_000_000, SimDuration::from_secs(900));
+        let mut logic = AbrLogic::new(AbrConfig::default(), video);
+        eng.run(&mut logic);
+        (eng, logic)
+    }
+
+    #[test]
+    fn fast_path_climbs_to_the_top_rung() {
+        // 100 Mbps research path: the estimate dwarfs the ladder top.
+        let (_, logic) = run_on(NetworkProfile::Research, None, 120, 41);
+        assert_eq!(logic.current_rate(), 3_800_000, "estimate {}", logic.estimate_bps());
+        assert!(logic.switches >= 1, "must have climbed from the lowest rung");
+        assert!(logic.player.has_started());
+        assert_eq!(logic.player.stats().stalls, 0);
+    }
+
+    #[test]
+    fn contended_path_sits_below_the_top_rung() {
+        // 20 Mbps Home downlink with ~70% LRD load: ~6 Mbps left on
+        // average but burst droughts well below the ladder top.
+        let lrd = LrdCrossConfig::for_load(20_000_000, 700);
+        let (_, logic) = run_on(NetworkProfile::Home, Some(lrd), 180, 41);
+        assert!(
+            logic.current_rate() < 3_800_000,
+            "picked {} under contention",
+            logic.current_rate()
+        );
+        assert!(logic.blocks > 5);
+    }
+
+    #[test]
+    fn switches_are_counted_and_bounded_by_blocks() {
+        let lrd = LrdCrossConfig::for_load(20_000_000, 600);
+        let (_, logic) = run_on(NetworkProfile::Home, Some(lrd), 180, 43);
+        assert!(logic.switches <= logic.blocks);
+        // The first segment's rung choice is not a switch.
+        assert!(logic.blocks >= 1);
+    }
+
+    #[test]
+    fn segment_sizing_is_exact_integer_math() {
+        let cfg = AbrConfig::default();
+        // 4 s at each default rung: bits × ms / 8000, exactly.
+        assert_eq!(rate_bytes_ms(350_000, cfg.segment_ms()), 175_000);
+        assert_eq!(rate_bytes_ms(3_800_000, cfg.segment_ms()), 1_900_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let lrd = LrdCrossConfig::for_load(20_000_000, 500);
+        let a = run_on(NetworkProfile::Home, Some(lrd), 120, 47);
+        let b = run_on(NetworkProfile::Home, Some(lrd), 120, 47);
+        assert_eq!(a.0.trace().len(), b.0.trace().len());
+        assert_eq!(a.1.read_total, b.1.read_total);
+        assert_eq!(a.1.switches, b.1.switches);
+    }
+
+    #[test]
+    fn buffer_respects_the_target() {
+        let (_, logic) = run_on(NetworkProfile::Research, None, 180, 53);
+        // Target 30 s + one 4 s segment of slack, in nominal bytes.
+        let bound = logic.video.playback_bytes_ms(34_000);
+        let peak = logic.player.stats().peak_buffer_bytes;
+        assert!(peak <= bound, "peak {peak} > bound {bound}");
+    }
+}

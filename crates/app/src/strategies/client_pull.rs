@@ -17,7 +17,7 @@ use vstream_tcp::TcpConfig;
 
 use crate::engine::{Engine, SessionLogic};
 use crate::player::Player;
-use crate::strategies::{server_tcp, startup_threshold};
+use crate::strategies::{rate_delay, server_tcp, startup_threshold};
 use crate::video::Video;
 
 /// Parameters of the client-pull strategy.
@@ -130,8 +130,7 @@ impl ClientPullLogic {
         }
         // Time until playback frees one block of room.
         let needed = self.cfg.block_bytes.saturating_sub(self.room());
-        let delay = SimDuration::from_secs_f64(needed as f64 * 8.0 / self.video.encoding_bps as f64)
-            .max(SimDuration::from_millis(1));
+        let delay = rate_delay(needed, self.video.encoding_bps).max(SimDuration::from_millis(1));
         eng.schedule_app_timer(delay, PULL_TIMER);
         self.pull_timer_armed = true;
     }
@@ -254,8 +253,9 @@ mod tests {
             wnd.iter().any(|&(_, w)| w == 0),
             "advertised window never reached zero"
         );
-        // And it reopens after pulls.
-        let max_w = wnd.iter().map(|&(_, w)| w).max().unwrap();
+        // And it reopens after pulls. (`unwrap_or(0)`: the reduction must
+        // stay total — an empty window series is a sentinel, not a panic.)
+        let max_w = wnd.iter().map(|&(_, w)| w).max().unwrap_or(0);
         assert!(max_w >= 256 * 1024);
     }
 
@@ -274,7 +274,7 @@ mod tests {
     fn accumulation_ratio_is_about_one() {
         let (eng, _) = run(ClientPullConfig::internet_explorer(), long_video(), 180);
         let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
-        let k = phases.accumulation_ratio(1_500_000.0).unwrap();
+        let k = phases.accumulation_ratio(1_500_000.0).unwrap_or(f64::NAN);
         assert!((0.85..=1.2).contains(&k), "k = {k:.3}");
     }
 
@@ -317,6 +317,45 @@ mod tests {
         let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
         let mb = phases.buffering_bytes as f64 / 1e6;
         assert!((4.0..=9.0).contains(&mb), "buffering = {mb:.1} MB (expected 4-8)");
+    }
+
+    #[test]
+    fn zero_packet_session_reductions_are_total() {
+        // A capture so short the handshake never completes: the trace is
+        // empty and every reduction must hand back its sentinel instead of
+        // panicking the whole figure.
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            19,
+            SimDuration::from_nanos(1),
+        );
+        let mut logic = ClientPullLogic::new(ClientPullConfig::internet_explorer(), long_video());
+        eng.run(&mut logic);
+        let wnd = eng.trace().recv_window_series(0);
+        assert_eq!(wnd.iter().map(|&(_, w)| w).max().unwrap_or(0), 0);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        assert!(phases.accumulation_ratio(1_500_000.0).is_none());
+        assert_eq!(phases.total_bytes, 0);
+        assert_eq!(logic.read_total, 0);
+    }
+
+    #[test]
+    fn sub_second_session_reductions_are_total() {
+        // Half a second of capture: buffering never completes, there is no
+        // steady state, and the reductions degrade to sentinels.
+        let mut eng = Engine::new(
+            NetworkProfile::Research.build_path(),
+            23,
+            SimDuration::from_millis(500),
+        );
+        let mut logic = ClientPullLogic::new(ClientPullConfig::internet_explorer(), long_video());
+        eng.run(&mut logic);
+        let wnd = eng.trace().recv_window_series(0);
+        let _ = wnd.iter().map(|&(_, w)| w).max().unwrap_or(0);
+        let phases = SessionPhases::from_trace(eng.trace(), &AnalysisConfig::default());
+        assert!(phases.accumulation_ratio(1_500_000.0).is_none());
+        let analysis = OnOffAnalysis::from_trace(eng.trace(), &AnalysisConfig::default());
+        assert!(analysis.steady_state_block_sizes().is_empty());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The streaming-strategy implementations (one per behaviour the paper
 //! observed) plus the user-interruption wrapper.
 
+mod abr;
 mod bulk;
 mod client_pull;
 mod interrupt;
@@ -8,6 +9,7 @@ mod netflix;
 mod range_request;
 mod server_paced;
 
+pub use abr::{AbrConfig, AbrLogic};
 pub use bulk::BulkLogic;
 pub use client_pull::{ClientPullConfig, ClientPullLogic};
 pub use interrupt::InterruptAfter;
@@ -50,5 +52,17 @@ pub fn server_tcp() -> vstream_tcp::TcpConfig {
 
 /// Seconds needed to play `bytes` at the video's encoding rate.
 pub fn playback_time(video: &Video, bytes: u64) -> SimDuration {
-    SimDuration::from_secs_f64(bytes as f64 * 8.0 / video.encoding_bps as f64)
+    rate_delay(bytes, video.encoding_bps)
+}
+
+/// Time to move (or play) `bytes` at `bps`, as exact integer tick math:
+/// `ns = bytes × 8e9 / bps` in u128, rounded to the nearest nanosecond.
+/// Every strategy pacing timer goes through this instead of
+/// `SimDuration::from_secs_f64(bytes·8/bps)`, whose double rounding
+/// (f64 quotient, then ns conversion) made timer deltas depend on float
+/// representation rather than on the rates alone.
+pub fn rate_delay(bytes: u64, bps: u64) -> SimDuration {
+    debug_assert!(bps > 0, "rate must be positive");
+    let ns = (bytes as u128 * 8_000_000_000u128 + bps as u128 / 2) / bps as u128;
+    SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
 }

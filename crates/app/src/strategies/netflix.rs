@@ -19,8 +19,14 @@ use vstream_tcp::TcpConfig;
 
 use crate::engine::{Engine, SessionLogic};
 use crate::player::Player;
-use crate::strategies::server_tcp;
-use crate::video::Video;
+use crate::strategies::{rate_delay, server_tcp};
+use crate::video::{rate_bytes_ms, Video};
+
+/// Whole milliseconds for a seconds-valued config knob. The configs keep
+/// human-readable f64 seconds; all byte sizing happens in integer ms.
+fn secs_ms(secs: f64) -> u64 {
+    (secs * 1000.0).round() as u64
+}
 
 /// Which Netflix client is simulated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,22 +104,25 @@ impl NetflixConfig {
     }
 
     /// Bytes of non-selected-rate fragments prefetched during buffering.
+    /// Integer `bits × ms / 8000` sizing: the old float form truncated
+    /// toward zero through an f64, so byte counts at odd rates depended on
+    /// float representation rather than on the ladder itself.
     pub fn probe_bytes(&self) -> u64 {
         self.available_rates
             .iter()
             .filter(|&&r| r != self.selected_rate)
-            .map(|&r| (r as f64 * self.probe_fragment_secs / 8.0) as u64)
+            .map(|&r| rate_bytes_ms(r, secs_ms(self.probe_fragment_secs)))
             .sum()
     }
 
     /// Bytes of the selected rate buffered before steady state.
     pub fn buffer_bytes(&self) -> u64 {
-        (self.selected_rate as f64 * self.buffer_playback_secs / 8.0) as u64
+        rate_bytes_ms(self.selected_rate, secs_ms(self.buffer_playback_secs))
     }
 
     /// Steady-state block size in bytes.
     pub fn block_bytes(&self) -> u64 {
-        (self.selected_rate as f64 * self.block_playback_secs / 8.0) as u64
+        rate_bytes_ms(self.selected_rate, secs_ms(self.block_playback_secs))
     }
 }
 
@@ -236,8 +245,7 @@ impl NetflixLogic {
             .buffer_bytes()
             .saturating_sub(self.player.buffer_bytes());
         let needed = self.cfg.block_bytes().saturating_sub(room);
-        let delay = SimDuration::from_secs_f64(needed as f64 * 8.0 / self.cfg.selected_rate as f64)
-            .max(SimDuration::from_millis(5));
+        let delay = rate_delay(needed, self.cfg.selected_rate).max(SimDuration::from_millis(5));
         eng.schedule_app_timer(delay, PULL_TIMER);
         self.pull_armed = true;
     }
@@ -251,7 +259,7 @@ impl SessionLogic for NetflixLogic {
             .available_rates
             .iter()
             .filter(|&&r| r != self.cfg.selected_rate)
-            .map(|&r| (r as f64 * self.cfg.probe_fragment_secs / 8.0) as u64)
+            .map(|&r| rate_bytes_ms(r, secs_ms(self.cfg.probe_fragment_secs)))
             .collect();
         for bytes in probes {
             self.open_transfer(eng, ConnKind::Probe, bytes);
@@ -465,5 +473,36 @@ mod tests {
         let (_, logic) = run(NetflixConfig::pc(), 180);
         assert!(logic.player.has_started());
         assert_eq!(logic.player.stats().stalls, 0);
+    }
+
+    #[test]
+    fn shipped_ladders_size_exactly() {
+        // The integer rework must reproduce the historical sizes at every
+        // shipped ladder rung (they are all exactly divisible).
+        let pc = NetflixConfig::pc();
+        assert_eq!(pc.block_bytes(), 1_500_000);
+        assert_eq!(pc.buffer_bytes(), 41_250_000);
+        assert_eq!(pc.probe_bytes(), (500_000 + 1_000_000 + 1_600_000 + 2_200_000) * 10 / 8);
+        let ipad = NetflixConfig::ipad();
+        assert_eq!(ipad.block_bytes(), 800_000);
+        assert_eq!(ipad.buffer_bytes(), 8_000_000);
+        let android = NetflixConfig::android();
+        assert_eq!(android.block_bytes(), 4_000_000);
+        assert_eq!(android.buffer_bytes(), 32_000_000);
+    }
+
+    #[test]
+    fn odd_rates_floor_without_float_drift() {
+        // A rate that is not divisible by 8 bits/byte: 1_000_003 bps for
+        // 4 s = 500001.5 B → floor 500001, regardless of how the f64
+        // quotient would have rounded.
+        let mut cfg = NetflixConfig::pc();
+        cfg.selected_rate = 1_000_003;
+        assert_eq!(cfg.block_bytes(), 500_001);
+        // Sub-second fragments land on exact ms boundaries: 2.5 s at
+        // 999_999 bps = 312499.6875 B → 312499.
+        cfg.probe_fragment_secs = 2.5;
+        cfg.available_rates = vec![999_999, cfg.selected_rate];
+        assert_eq!(cfg.probe_bytes(), 312_499);
     }
 }

@@ -135,9 +135,8 @@ impl RangeRequestLogic {
         } else if !self.retry_armed {
             // Wait until playback frees enough room.
             let needed = chunk - self.room();
-            let delay =
-                SimDuration::from_secs_f64(needed as f64 * 8.0 / self.video.encoding_bps as f64)
-                    .max(SimDuration::from_millis(10));
+            let delay = crate::strategies::rate_delay(needed, self.video.encoding_bps)
+                .max(SimDuration::from_millis(10));
             eng.schedule_app_timer(delay, RETRY_TIMER);
             self.retry_armed = true;
         }

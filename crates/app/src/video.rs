@@ -36,10 +36,35 @@ impl Video {
     }
 
     /// Bytes corresponding to `secs` seconds of playback.
+    ///
+    /// The seconds are snapped to whole milliseconds and the byte count is
+    /// then exact integer arithmetic (`bits × ms / 8000`, floor) — the
+    /// float form this replaced could land one byte under the true value
+    /// whenever `rate × secs / 8` picked up representation error.
     pub fn playback_bytes(&self, secs: f64) -> u64 {
         assert!(secs >= 0.0, "playback time must be non-negative");
-        (self.encoding_bps as f64 * secs / 8.0) as u64
+        rate_bytes_ms(self.encoding_bps, (secs * 1000.0).round() as u64)
     }
+
+    /// Bytes corresponding to `ms` milliseconds of playback — the pure
+    /// integer form of [`Video::playback_bytes`] for callers that already
+    /// account in milliseconds (the ABR segment machinery).
+    pub fn playback_bytes_ms(&self, ms: u64) -> u64 {
+        rate_bytes_ms(self.encoding_bps, ms)
+    }
+
+    /// The playback duration in whole milliseconds.
+    pub fn duration_ms(&self) -> u64 {
+        self.duration.as_nanos() / 1_000_000
+    }
+}
+
+/// Bytes delivered at `bps` over `ms` milliseconds: `bits × ms / 8000` in
+/// u128 (no overflow, no float), rounded toward zero. Strategies size their
+/// blocks and probe fragments through this so byte counts are a pure
+/// function of the integer rate and duration.
+pub fn rate_bytes_ms(bps: u64, ms: u64) -> u64 {
+    (bps as u128 * ms as u128 / 8_000) as u64
 }
 
 #[cfg(test)]
@@ -64,5 +89,17 @@ mod tests {
     #[should_panic(expected = "encoding rate must be positive")]
     fn rejects_zero_rate() {
         Video::new(1, 0, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn rate_bytes_is_exact_integer_math() {
+        // Whole-second, divisible cases: identical to rate×secs/8.
+        assert_eq!(rate_bytes_ms(3_000_000, 4_000), 1_500_000);
+        assert_eq!(rate_bytes_ms(1_600_000, 10_000), 2_000_000);
+        // Non-divisible: floor, never float-truncation drift.
+        assert_eq!(rate_bytes_ms(333_333, 2_000), 83_333); // 83333.25
+        assert_eq!(rate_bytes_ms(1, 1), 0);
+        // Large rates × long durations stay exact (u128 intermediate).
+        assert_eq!(rate_bytes_ms(u64::MAX, 8_000), u64::MAX);
     }
 }

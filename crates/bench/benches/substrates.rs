@@ -293,6 +293,63 @@ fn bench_tracing(c: &mut Criterion) {
     g.finish();
 }
 
+/// The DASH adaptation loop, clean and under LRD cross-traffic. The clean
+/// row prices the per-segment connection churn (one connection per 4 s
+/// segment vs one long-lived connection for the Table 1 clients); the
+/// loaded row adds the superposed on/off aggregate's timer events — the
+/// densest event mix the ext-qoe sweep runs, so a regression here is a
+/// regression in `repro ext-qoe` wall clock.
+fn bench_abr(c: &mut Criterion) {
+    let dash_spec = |seed: u64, cross: Option<LrdCrossConfig>| {
+        let spec = SessionSpec::new(
+            Client::Dash,
+            Container::Html5,
+            Video::new(1, 1_000_000, SimDuration::from_secs(2400)),
+            NetworkProfile::Home,
+            seed,
+            SimDuration::from_secs(180),
+        )
+        .shared();
+        match cross {
+            Some(c) => spec.with_lrd_cross(c),
+            None => spec,
+        }
+    };
+    let down = NetworkProfile::Home.down_bps();
+
+    let mut g = c.benchmark_group("abr");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(1));
+    g.bench_function("dash_180s_clean", |b| {
+        let spec = dash_spec(0xD5A1, None);
+        let mut scratch = SessionScratch::new();
+        b.iter(|| {
+            black_box(
+                black_box(&spec)
+                    .run_with_scratch(&mut scratch)
+                    .unwrap()
+                    .trace
+                    .len(),
+            )
+        });
+        scratch.flush_metrics();
+    });
+    g.bench_function("dash_180s_lrd_load_700", |b| {
+        let spec = dash_spec(0xD5A2, Some(LrdCrossConfig::for_load(down, 700)));
+        let mut scratch = SessionScratch::new();
+        b.iter(|| {
+            black_box(
+                black_box(&spec)
+                    .run_with_scratch(&mut scratch)
+                    .unwrap()
+                    .trace
+                    .len(),
+            )
+        });
+        scratch.flush_metrics();
+    });
+    g.finish();
+}
+
 fn bench_fluid_model(c: &mut Criterion) {
     use vstream_model::{FluidSim, FluidStrategy, PopulationModel};
     let pop = PopulationModel {
@@ -318,6 +375,7 @@ criterion_group!(
     bench_sessions_per_sec,
     bench_streaming_query,
     bench_tracing,
+    bench_abr,
     bench_fluid_model
 );
 criterion_main!(benches);

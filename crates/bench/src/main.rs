@@ -325,10 +325,10 @@ fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> T {
     })
 }
 
-const ALL_IDS: [&str; 21] = [
+const ALL_IDS: [&str; 22] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "table1", "table2", "model-agg", "model-waste", "ext-stalls", "ext-sack", "ext-cc",
-    "ext-m3", "ext-agg-pkt",
+    "ext-m3", "ext-agg-pkt", "ext-qoe",
 ];
 
 fn print_usage() {
@@ -421,6 +421,11 @@ fn run_one(id: &str, opts: &Options) {
         "ext-cc" => emit_table(&f::ext_congestion_ablation(seed), opts),
         "ext-m3" => emit_table(&f::ext_third_moment(seed, 4000.0), opts),
         "ext-agg-pkt" => emit_table(&f::ext_aggregate_packet_level(seed, 40, 1200.0), opts),
+        "ext-qoe" => {
+            let (fig, table) = f::ext_qoe_load_sweep(seed, n.min(6));
+            emit_fig(&fig, opts);
+            emit_table(&table, opts);
+        }
         "model-waste" => {
             let (threshold, fig) = f::model_interruption_waste(seed);
             println!(

@@ -47,7 +47,7 @@ use crate::session::{CellOutcome, SessionSpec};
 /// feeds the simulation, flattened to integers. Equal keys ⇒ bit-identical
 /// outcomes. (The `shared` retention flag is deliberately *not* part of the
 /// key — it changes where the result lives, never what it is.)
-pub type SessionKey = [u64; 10];
+pub type SessionKey = [u64; 14];
 
 /// A completed session in retained form: the packed trace plus the small
 /// outcome fields kept raw.
@@ -164,6 +164,10 @@ pub fn key_of(spec: &SessionSpec) -> SessionKey {
         Some(w) => (1, w.as_nanos()),
         None => (0, 0),
     };
+    let (cross_present, cross_words) = match spec.cross {
+        Some(c) => (1, c.key_words()),
+        None => (0, [0; 3]),
+    };
     [
         spec.client as u64,
         spec.container as u64,
@@ -175,6 +179,10 @@ pub fn key_of(spec: &SessionSpec) -> SessionKey {
         spec.capture.as_nanos(),
         watch_present,
         watch_ns,
+        cross_present,
+        cross_words[0],
+        cross_words[1],
+        cross_words[2],
     ]
 }
 
@@ -284,6 +292,7 @@ mod tests {
                 ..base
             },
             base.interrupted(SimDuration::from_secs(5)),
+            base.with_lrd_cross(vstream_net::LrdCrossConfig::for_load(20_000_000, 500)),
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(key_of(v), key_of(&base), "variant {i} collided");
@@ -293,6 +302,21 @@ mod tests {
             key_of(&base.interrupted(SimDuration::from_nanos(0))),
             key_of(&base)
         );
+        // Each cross-traffic field perturbation must move the key too.
+        let crossed = base.with_lrd_cross(vstream_net::LrdCrossConfig::for_load(20_000_000, 500));
+        let mut c2 = crossed;
+        c2.cross.as_mut().unwrap().sources += 1;
+        let mut c3 = crossed;
+        c3.cross.as_mut().unwrap().peak_bps += 1;
+        let mut c4 = crossed;
+        c4.cross.as_mut().unwrap().alpha_milli += 1;
+        let mut c5 = crossed;
+        c5.cross.as_mut().unwrap().mean_on_ms += 1;
+        let mut c6 = crossed;
+        c6.cross.as_mut().unwrap().mean_off_ms += 1;
+        for (i, v) in [c2, c3, c4, c5, c6].iter().enumerate() {
+            assert_ne!(key_of(v), key_of(&crossed), "cross variant {i} collided");
+        }
         // Retention is not identity: a shared spec keys the same as its
         // unshared twin.
         assert_eq!(key_of(&base.shared()), key_of(&base));

@@ -1246,6 +1246,7 @@ mod tests {
             stall_total_us: 400_000,
             stall_max_us: 400_000,
             blocks: 12,
+            switches: 0,
         };
         r.absorb_session(&params, &[0, 5_000_000, 0, 3_000_000], &qoe, 90_000_000);
         let text = serialize_shard(0xABCD, 1, 4, 8, &r);
@@ -1277,6 +1278,7 @@ mod tests {
             stall_total_us: 0,
             stall_max_us: 0,
             blocks: 0,
+            switches: 0,
         };
         // Bins spill past the horizon: the overflow is dropped, counters
         // still see the full session.

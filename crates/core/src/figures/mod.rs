@@ -15,6 +15,7 @@
 mod blocks;
 mod buffering;
 mod extensions;
+mod ext_qoe;
 mod model;
 mod rates;
 mod tables;
@@ -23,6 +24,7 @@ mod traces;
 pub use blocks::{fig12_netflix_blocks, fig4_flash_steady_state, fig5_html5_steady_state, fig6b_long_blocks, fig7b_ipad_block_vs_rate};
 pub use buffering::{fig11_netflix_buffering, fig3a_flash_buffering, fig3b_html5_buffering};
 pub use extensions::{ext_aggregate_packet_level, ext_congestion_ablation, ext_sack_ablation, ext_sack_ablation_with_runs, ext_stall_vs_accumulation, ext_third_moment};
+pub use ext_qoe::ext_qoe_load_sweep;
 pub use model::{model_aggregate_moments, model_interruption_waste, model_smoothing};
 pub use rates::{fig8_bulk_rates, fig9_ack_clock, fig9_idle_reset_ablation};
 pub use tables::{table1_strategy_matrix, table2_strategy_comparison};

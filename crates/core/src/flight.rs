@@ -213,6 +213,7 @@ fn arg_names(kind: EventKind) -> (&'static str, &'static str) {
         EventKind::AppFinished => ("stall_total_ns", "b"),
         EventKind::AppBufferLevel => ("buffer_bytes", "bucket"),
         EventKind::AppBlockRequest => ("blocks", "b"),
+        EventKind::AppBitrateSwitch => ("new_bps", "old_bps"),
     }
 }
 

@@ -87,7 +87,7 @@ pub mod prelude {
     };
     pub use vstream_analysis::{classify, AnalysisConfig, Cdf, SessionPhases, Strategy};
     pub use vstream_app::{Video, PlayerStats};
-    pub use vstream_net::NetworkProfile;
+    pub use vstream_net::{LrdCrossConfig, NetworkProfile};
     pub use vstream_sim::{SimDuration, SimTime};
     pub use vstream_workload::{Client, Container, Dataset, Service};
 }

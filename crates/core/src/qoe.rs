@@ -50,6 +50,9 @@ pub struct QoeSummary {
     pub stall_max_us: u64,
     /// Block requests the strategy issued (0 for bulk transfers).
     pub blocks: u64,
+    /// Bitrate switches the strategy performed (0 for every fixed-rate
+    /// 2011 strategy; only the DASH extension client adapts).
+    pub switches: u64,
 }
 
 impl QoeSummary {
@@ -63,6 +66,7 @@ impl QoeSummary {
             stall_total_us: stats.stall_time.as_nanos() / 1_000,
             stall_max_us: stats.stall_max.as_nanos() / 1_000,
             blocks: logic.blocks(),
+            switches: logic.switches(),
         }
     }
 
@@ -119,15 +123,21 @@ impl QoeRow {
         } else {
             s.stall_total_us * 1_000_000 / self.capture_us
         };
-        // Blocks per minute of capture, milli-units for 3 decimals.
+        // Blocks (and switches) per minute of capture, milli-units for 3
+        // decimals.
         let rate_milli = if self.capture_us == 0 {
             0
         } else {
             s.blocks * 60_000_000_000 / self.capture_us
         };
+        let switch_rate_milli = if self.capture_us == 0 {
+            0
+        } else {
+            s.switches * 60_000_000_000 / self.capture_us
+        };
         let ratio = format!("{}.{:06}", ppm / 1_000_000, ppm % 1_000_000);
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}.{:03}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}.{:03},{},{}.{:03}",
             self.client,
             self.container,
             self.profile,
@@ -143,6 +153,9 @@ impl QoeRow {
             s.blocks,
             rate_milli / 1_000,
             rate_milli % 1_000,
+            s.switches,
+            switch_rate_milli / 1_000,
+            switch_rate_milli % 1_000,
         )
     }
 }
@@ -155,7 +168,7 @@ fn fmt_ms(us: u64) -> String {
 /// The table header.
 pub const CSV_HEADER: &str = "figure,index,client,container,profile,video,seed,startup_ms,\
 stalls,stalls_completed,stall_total_ms,stall_mean_ms,stall_max_ms,stall_ratio,blocks,\
-block_rate_per_min";
+block_rate_per_min,switches,switch_rate_per_min";
 
 struct State {
     /// Figure id rows are currently attributed to.
@@ -252,13 +265,15 @@ mod tests {
                 stall_total_us: 4_500_000,
                 stall_max_us: 4_500_000,
                 blocks: 90,
+                switches: 4,
             },
         };
         // Never-started session: empty startup cell; ratio 4.5s/180s =
-        // 0.025; 90 blocks over 3 minutes = 30/min.
+        // 0.025; 90 blocks over 3 minutes = 30/min; 4 switches over 3
+        // minutes = 1.333/min.
         assert_eq!(
             row.csv_cells(),
-            "c,k,p,7,9,,2,1,4500.000,4500.000,4500.000,0.025000,90,30.000"
+            "c,k,p,7,9,,2,1,4500.000,4500.000,4500.000,0.025000,90,30.000,4,1.333"
         );
     }
 }

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use vstream_analysis::{
     AnalysisConfig, AnalysisFold, CaptureTotals, DownloadFold, OnOffAnalysis, SessionPhases,
-    SummariesFold, ThroughputFold, TotalsFold, WindowFold,
+    SummariesFold, SwitchCounts, SwitchRateFold, ThroughputFold, TotalsFold, WindowFold,
 };
 use vstream_app::PlayerStats;
 use vstream_capture::{ConnectionSummary, PacketSink, TapPacket};
@@ -81,8 +81,22 @@ pub struct SessionQuery {
     /// every-path plumbing (batch replay, streaming tap, cache hit/miss),
     /// so the answer is byte-identical across modes all the same.
     pub qoe: bool,
+    /// Wire-side bitrate-switch estimate against this segment ladder (the
+    /// `ext-qoe` table's cross-check of the client's own switch counter).
+    pub switch_rate: Option<SwitchRateQuery>,
     /// Thresholds for the cycle/phase analyses.
     pub config: AnalysisConfig,
+}
+
+/// Parameters of the wire-side switch-rate estimate: the ABR client's
+/// segment ladder and playback length, which [`SwitchRateFold`] needs to
+/// classify connections to rungs.
+#[derive(Clone, Debug)]
+pub struct SwitchRateQuery {
+    /// Available encoding rates in bits per second, ascending.
+    pub ladder: Vec<u64>,
+    /// Playback milliseconds per segment.
+    pub segment_ms: u64,
 }
 
 impl Default for SessionQuery {
@@ -97,6 +111,7 @@ impl Default for SessionQuery {
             summaries: false,
             totals: false,
             qoe: false,
+            switch_rate: None,
             config: AnalysisConfig::default(),
         }
     }
@@ -165,6 +180,13 @@ impl SessionQuery {
         self
     }
 
+    /// Requests the wire-side switch-rate estimate against `ladder`
+    /// (ascending bits per second) at `segment_ms` playback per segment.
+    pub fn switch_rate(mut self, ladder: Vec<u64>, segment_ms: u64) -> Self {
+        self.switch_rate = Some(SwitchRateQuery { ladder, segment_ms });
+        self
+    }
+
     fn wants_analysis(&self) -> bool {
         self.onoff || self.phases || self.ack_clock
     }
@@ -192,6 +214,8 @@ pub struct SessionAnswer {
     pub totals: Option<CaptureTotals>,
     /// Per-session QoE summary.
     pub qoe: Option<crate::qoe::QoeSummary>,
+    /// Wire-side segment/switch counts against the query's ladder.
+    pub switch_counts: Option<SwitchCounts>,
 }
 
 /// Everything [`query_many`] returns per session: the computed features
@@ -232,6 +256,7 @@ pub(crate) struct CompositeFold {
     analysis: Option<AnalysisFold>,
     summaries: Option<SummariesFold>,
     totals: Option<TotalsFold>,
+    switch_rate: Option<SwitchRateFold>,
 }
 
 impl CompositeFold {
@@ -255,6 +280,7 @@ impl CompositeFold {
             analysis,
             summaries: query.summaries.then(SummariesFold::new),
             totals: query.totals.then(TotalsFold::new),
+            switch_rate: query.switch_rate.as_ref().map(|_| SwitchRateFold::new()),
         }
     }
 
@@ -267,6 +293,7 @@ impl CompositeFold {
             + self.analysis.as_ref().map_or(0, AnalysisFold::approx_bytes)
             + self.summaries.as_ref().map_or(0, SummariesFold::approx_bytes)
             + self.totals.as_ref().map_or(0, TotalsFold::approx_bytes)
+            + self.switch_rate.as_ref().map_or(0, SwitchRateFold::approx_bytes)
     }
 
     /// Closes every fold into the answer.
@@ -288,6 +315,13 @@ impl CompositeFold {
             // Not a packet fold — the reply assembler fills it from the
             // session's strategy logic when the query asks.
             qoe: None,
+            switch_counts: self.switch_rate.map(|f| {
+                let q = query
+                    .switch_rate
+                    .as_ref()
+                    .expect("the fold exists only when the query asked");
+                f.finish(&q.ladder, q.segment_ms)
+            }),
         }
     }
 }
@@ -310,6 +344,9 @@ impl PacketSink for CompositeFold {
             f.packet(p);
         }
         if let Some(f) = &mut self.totals {
+            f.packet(p);
+        }
+        if let Some(f) = &mut self.switch_rate {
             f.packet(p);
         }
     }

@@ -18,7 +18,7 @@ pub use vstream_app::engine::SessionScratch;
 use vstream_app::strategies::InterruptAfter;
 use vstream_app::{PlayerStats, Video};
 use vstream_capture::{PacketSink, Trace};
-use vstream_net::NetworkProfile;
+use vstream_net::{LrdCrossConfig, NetworkProfile};
 use vstream_obs::{collector, Counter, Gauge, HistId};
 use vstream_sim::{exec, SimDuration};
 use vstream_tcp::EndpointStats;
@@ -63,6 +63,10 @@ pub struct SessionSpec {
     /// When set, the viewer abandons the session after this watch time
     /// (§6.2 experiments).
     pub watch_time: Option<SimDuration>,
+    /// When set, a long-range-dependent cross-traffic aggregate shares the
+    /// downlink for the whole session (the `ext-qoe` load sweeps). Part of
+    /// the cache key: the aggregate changes every packet arrival time.
+    pub cross: Option<LrdCrossConfig>,
     /// Opts this spec into [session cache](crate::cache) retention. Set by
     /// [`SessionSpec::shared`] for the cross-figure cell stream
     /// (`figures::cell_specs`); one-off sessions leave it false so the
@@ -89,6 +93,7 @@ impl SessionSpec {
             seed,
             capture,
             watch_time: None,
+            cross: None,
             shared: false,
         }
     }
@@ -96,6 +101,15 @@ impl SessionSpec {
     /// Marks the session as abandoned after `watch_time`.
     pub fn interrupted(mut self, watch_time: SimDuration) -> Self {
         self.watch_time = Some(watch_time);
+        self
+    }
+
+    /// Puts a long-range-dependent cross-traffic aggregate on the downlink
+    /// for the whole session. The aggregate's randomness derives from the
+    /// spec's seed (never the engine's main RNG), so the session stays a
+    /// pure function of the spec.
+    pub fn with_lrd_cross(mut self, cfg: LrdCrossConfig) -> Self {
+        self.cross = Some(cfg);
         self
     }
 
@@ -147,6 +161,7 @@ impl SessionSpec {
             self.capture,
             logic,
             self.watch_time,
+            self.cross,
             scratch,
             None,
         );
@@ -176,6 +191,7 @@ impl SessionSpec {
             self.capture,
             logic,
             self.watch_time,
+            self.cross,
             scratch,
             Some((sink, keep_trace)),
         );
@@ -463,7 +479,7 @@ where
             } else {
                 // Sentinel: real keys start with a small client
                 // discriminant, so `u64::MAX` cannot collide.
-                let mut k = [0u64; 10];
+                let mut k = [0u64; 14];
                 k[0] = u64::MAX;
                 k[1] = i as u64;
                 k
@@ -605,6 +621,7 @@ fn finish(
     capture: SimDuration,
     logic: StrategyLogic,
     watch_time: Option<SimDuration>,
+    cross: Option<LrdCrossConfig>,
     scratch: &mut SessionScratch,
     tap: Option<(&mut dyn PacketSink, bool)>,
 ) -> CellOutcome {
@@ -614,6 +631,9 @@ fn finish(
         capture,
         std::mem::take(scratch),
     );
+    if let Some(cfg) = cross {
+        eng.set_lrd_cross_traffic(cfg, seed);
+    }
     let logic = match watch_time {
         Some(w) => {
             let mut wrapped = InterruptAfter::new(logic, w);

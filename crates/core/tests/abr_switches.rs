@@ -1,0 +1,145 @@
+//! Randomized ABR switch-fold suite (the DASH twin of `streaming_query`).
+//!
+//! Six seeds crossed with three (classification ladder, LRD cross-traffic)
+//! shapes, each a real DASH session over the Home profile. Held invariants,
+//! per (seed, shape):
+//!
+//! * the wire-side switch estimate a query computes equals the column-scan
+//!   oracle ([`switch_counts_of`] over the retained trace's connection
+//!   summaries) — the fold never sees the trace, the oracle never sees the
+//!   packet stream;
+//! * all four resolution paths — batch, streaming live-tap, streaming
+//!   cache-miss, streaming cache-hit (packed-column replay) — return
+//!   byte-equal switch counts and QoE summaries;
+//! * the QoE reply's `switches` equals the client logic's own counter (the
+//!   ground truth the flight-recorder suite ties to emitted events).
+//!
+//! One `#[test]`, deliberately: the streaming flag and the session cache
+//! are process globals.
+
+use vstream::prelude::*;
+use vstream::{cache, query_many_jobs, run_many_jobs, SessionQuery};
+use vstream_analysis::switch_counts_of;
+use vstream_net::LrdCrossConfig;
+use vstream_sim::derive_seed;
+
+/// One suite shape: how the fold classifies, and what loads the link.
+struct Shape {
+    ladder: Vec<u64>,
+    segment_ms: u64,
+    cross: Option<LrdCrossConfig>,
+}
+
+fn shapes() -> Vec<Shape> {
+    let default_ladder = vec![350_000u64, 600_000, 1_000_000, 1_600_000, 2_500_000, 3_800_000];
+    vec![
+        // Clean link, the client's own ladder: the estimate should track
+        // the adaptation loop closely.
+        Shape { ladder: default_ladder.clone(), segment_ms: 4_000, cross: None },
+        // Half-loaded link: switches actually happen.
+        Shape {
+            ladder: default_ladder,
+            segment_ms: 4_000,
+            cross: Some(LrdCrossConfig::for_load(20_000_000, 500)),
+        },
+        // Heavily loaded link, deliberately mismatched coarse ladder: the
+        // estimator must stay consistent across paths even when its
+        // classification is wrong about the client.
+        Shape {
+            ladder: vec![200_000, 2_000_000],
+            segment_ms: 4_000,
+            cross: Some(LrdCrossConfig::for_load(20_000_000, 750)),
+        },
+    ]
+}
+
+const SEEDS: u64 = 6;
+
+fn spec_for(seed: u64, shape: &Shape) -> SessionSpec {
+    let video = Video::new(seed + 1, 1_000_000, SimDuration::from_secs(900));
+    let spec = SessionSpec::new(
+        Client::Dash,
+        Container::Html5,
+        video,
+        NetworkProfile::Home,
+        derive_seed(0xAB12, &[seed]),
+        SimDuration::from_secs(45),
+    )
+    .shared();
+    match shape.cross {
+        Some(c) => spec.with_lrd_cross(c),
+        None => spec,
+    }
+}
+
+#[test]
+fn switch_fold_matches_oracle_on_every_path() {
+    let shapes = shapes();
+    // Specs are grouped by shape so each group can use its own query.
+    let spec_groups: Vec<Vec<SessionSpec>> = shapes
+        .iter()
+        .map(|shape| (0..SEEDS).map(|seed| spec_for(seed, shape)).collect())
+        .collect();
+
+    for (si, (shape, specs)) in shapes.iter().zip(&spec_groups).enumerate() {
+        let query = SessionQuery::default()
+            .qoe()
+            .switch_rate(shape.ladder.clone(), shape.segment_ms);
+
+        // Column-scan oracle from full outcomes (traces retained).
+        vstream::set_streaming(false);
+        let outcomes = run_many_jobs(specs, 2);
+
+        // Path 1: batch query (trace replayed through the fold).
+        let batch = query_many_jobs(specs, 2, &query);
+        // Path 2: streaming live-tap, no cache, no trace ever built.
+        vstream::set_streaming(true);
+        let streamed = query_many_jobs(specs, 2, &query);
+        // Paths 3 + 4: cache miss (live tap + pack), then hit (packed
+        // replay).
+        cache::install();
+        let miss = query_many_jobs(specs, 2, &query);
+        let hit = query_many_jobs(specs, 2, &query);
+        cache::uninstall();
+        vstream::set_streaming(false);
+
+        for seed in 0..SEEDS as usize {
+            let ctx = format!("shape {si} seed {seed}");
+            let out = outcomes[seed].as_ref().expect("Dash over HTML5 applies");
+            let oracle = switch_counts_of(
+                &out.trace.connection_summaries(),
+                &shape.ladder,
+                shape.segment_ms,
+            );
+            let truth = out.logic.switches();
+
+            for (path, replies) in [
+                ("batch", &batch),
+                ("streaming", &streamed),
+                ("cache-miss", &miss),
+                ("cache-hit", &hit),
+            ] {
+                let reply = replies[seed].as_ref().expect("Dash over HTML5 applies");
+                assert_eq!(
+                    reply.answer.switch_counts,
+                    Some(oracle),
+                    "{ctx}: {path} switch counts vs column-scan oracle"
+                );
+                let q = reply.answer.qoe.as_ref().expect("qoe queried");
+                assert_eq!(q.switches, truth, "{ctx}: {path} client switch counter");
+            }
+            // The session must actually fetch segments for the suite to
+            // mean anything.
+            assert!(oracle.segments > 3, "{ctx}: only {} segments", oracle.segments);
+        }
+    }
+
+    // At least one (seed, shape) pair in the loaded groups must have
+    // switched — otherwise the suite never exercised a rung change.
+    vstream::set_streaming(false);
+    let loaded: u64 = spec_groups[1]
+        .iter()
+        .filter_map(|s| s.run().map(|o| o.logic.switches()))
+        .sum();
+    assert!(loaded > 0, "no switches across the half-loaded group");
+}

@@ -1,9 +1,10 @@
 //! Randomized flight-recorder suite (DESIGN.md §12).
 //!
 //! Mirrors the seed × shape structure of the analysis crate's streaming
-//! suite: six seeds crossed with six session shapes spanning every strategy
-//! family (server-paced Flash, client-pull HTML5, Netflix Silverlight, iPad
-//! range requests, Android pull, and an interrupted session), each run as a
+//! suite: six seeds crossed with seven session shapes spanning every
+//! strategy family (server-paced Flash, client-pull HTML5, Netflix
+//! Silverlight, iPad range requests, Android pull, an interrupted session,
+//! and the DASH rate-adaptation extension), each run as a
 //! real simulated session with the event recorder on. Held invariants:
 //!
 //! * events are monotone non-decreasing in simulation time — emission
@@ -44,15 +45,18 @@ enum Shape {
     AndroidPull,
     /// A server-paced session the viewer abandons after 3 s.
     Interrupted,
+    /// The DASH rate-adaptation extension client (outside Table 1).
+    Dash,
 }
 
-const SHAPES: [Shape; 6] = [
+const SHAPES: [Shape; 7] = [
     Shape::ServerPaced,
     Shape::ClientPull,
     Shape::Netflix,
     Shape::Range,
     Shape::AndroidPull,
     Shape::Interrupted,
+    Shape::Dash,
 ];
 
 /// Builds the spec for one (seed, shape) point. Identities vary with the
@@ -69,6 +73,7 @@ fn spec_for(seed: u64, shape: Shape) -> SessionSpec {
         Shape::Range => (Client::Ipad, Container::Html5, NetworkProfile::Home),
         Shape::AndroidPull => (Client::Android, Container::Html5, NetworkProfile::Research),
         Shape::Interrupted => (Client::Firefox, Container::FlashHd, NetworkProfile::Residence),
+        Shape::Dash => (Client::Dash, Container::Html5, NetworkProfile::Home),
     };
     let spec = SessionSpec::new(client, container, video, profile, 1000 + seed, capture);
     match shape {
@@ -82,7 +87,7 @@ fn spec_for(seed: u64, shape: Shape) -> SessionSpec {
 fn record(spec: &SessionSpec, cap: usize) -> (Recorder, vstream::CellOutcome) {
     trace::set_enabled(true);
     trace::begin_session(cap);
-    let out = spec.run().expect("every shape is an applicable Table 1 cell");
+    let out = spec.run().expect("every shape is an applicable matrix cell");
     let rec = trace::end_session().expect("session bracket returns the ring");
     (rec, out)
 }
@@ -169,6 +174,7 @@ fn reference_reduction(events: &[Event]) -> trace::QoeFold {
             }
             EventKind::AppFinished => r.finished_at_ns = Some(ev.at_ns),
             EventKind::AppBlockRequest => r.blocks += 1,
+            EventKind::AppBitrateSwitch => r.switches += 1,
             _ => {}
         }
     }
@@ -218,6 +224,7 @@ fn qoe_fold_matches_reference_and_production_summary() {
                 "seed {seed} {shape:?}: stall max"
             );
             assert_eq!(prod.blocks, fold.blocks, "seed {seed} {shape:?}: blocks");
+            assert_eq!(prod.switches, fold.switches, "seed {seed} {shape:?}: switches");
         }
     }
 }

@@ -14,12 +14,14 @@
 //! Four [`NetworkProfile`]s reproduce the measurement vantage points of
 //! Section 4.2 of the paper: *Research*, *Residence*, *Academic*, and *Home*.
 
+pub mod cross;
 pub mod link;
 pub mod loss;
 pub mod packet;
 pub mod path;
 pub mod profile;
 
+pub use cross::LrdCrossConfig;
 pub use link::{Link, LinkConfig};
 pub use loss::LossModel;
 pub use packet::{DropReason, Verdict, Wire};

@@ -87,11 +87,14 @@ pub enum EventKind {
     /// A streaming strategy issued a block request. `a` = running block
     /// count for the session.
     AppBlockRequest,
+    /// An adaptive-bitrate strategy switched ladder rungs. `a` = new rate
+    /// (bps), `b` = previous rate (bps).
+    AppBitrateSwitch,
 }
 
 impl EventKind {
     /// Number of kinds; discriminants are `0..COUNT`.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Stable snake_case identifier, used in dumps and exports.
     pub fn name(self) -> &'static str {
@@ -113,6 +116,7 @@ impl EventKind {
             EventKind::AppFinished => "app_finished",
             EventKind::AppBufferLevel => "app_buffer_level",
             EventKind::AppBlockRequest => "app_block_request",
+            EventKind::AppBitrateSwitch => "app_bitrate_switch",
         }
     }
 
@@ -133,7 +137,8 @@ impl EventKind {
             | EventKind::AppStallEnd
             | EventKind::AppFinished
             | EventKind::AppBufferLevel
-            | EventKind::AppBlockRequest => "app",
+            | EventKind::AppBlockRequest
+            | EventKind::AppBitrateSwitch => "app",
         }
     }
 }
@@ -334,6 +339,8 @@ pub struct QoeFold {
     pub stall_max_ns: u64,
     /// Block requests issued by the strategy.
     pub blocks: u64,
+    /// Bitrate-ladder switches made by an adaptive strategy.
+    pub switches: u64,
     /// When the player finished, if it did (ns).
     pub finished_at_ns: Option<u64>,
 }
@@ -356,6 +363,7 @@ impl QoeFold {
             }
             EventKind::AppFinished => self.finished_at_ns = Some(ev.at_ns),
             EventKind::AppBlockRequest => self.blocks += 1,
+            EventKind::AppBitrateSwitch => self.switches += 1,
             _ => {}
         }
     }
@@ -470,6 +478,7 @@ mod tests {
             EventKind::AppFinished,
             EventKind::AppBufferLevel,
             EventKind::AppBlockRequest,
+            EventKind::AppBitrateSwitch,
         ];
         assert_eq!(kinds.len(), EventKind::COUNT);
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();

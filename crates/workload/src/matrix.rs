@@ -10,8 +10,8 @@
 use vstream_analysis::Strategy;
 use vstream_app::engine::{Engine, SessionLogic};
 use vstream_app::strategies::{
-    BulkLogic, ClientPullConfig, ClientPullLogic, NetflixConfig, NetflixLogic, RangeRequestConfig,
-    RangeRequestLogic, ServerPacedConfig, ServerPacedLogic,
+    AbrConfig, AbrLogic, BulkLogic, ClientPullConfig, ClientPullLogic, NetflixConfig,
+    NetflixLogic, RangeRequestConfig, RangeRequestLogic, ServerPacedConfig, ServerPacedLogic,
 };
 use vstream_app::{Player, Video};
 use vstream_net::NetworkProfile;
@@ -38,10 +38,17 @@ pub enum Client {
     Ipad,
     /// The native Android application.
     Android,
+    /// A DASH-style adaptive-bitrate reference player (HTML5 only). Not a
+    /// Table 1 row — the paper's 2011 clients pick one rate per session —
+    /// but the rate-adaptation behaviour the QoE extension experiments
+    /// (`repro ext-qoe`) measure under long-range-dependent cross traffic.
+    Dash,
 }
 
 impl Client {
-    /// All rows of Table 1.
+    /// All rows of Table 1. [`Client::Dash`] is deliberately excluded: it
+    /// is an extension client, and adding it here would change every
+    /// Table 1-derived figure.
     pub const ALL: [Client; 5] = [
         Client::InternetExplorer,
         Client::Firefox,
@@ -58,6 +65,7 @@ impl Client {
             Client::Chrome => "Google Chrome",
             Client::Ipad => "iOS (native)",
             Client::Android => "Android (native)",
+            Client::Dash => "DASH (reference)",
         }
     }
 
@@ -122,6 +130,8 @@ pub enum StrategyLogic {
     Range(RangeRequestLogic),
     /// Netflix (any device).
     Netflix(NetflixLogic),
+    /// DASH-style adaptive bitrate (extension client).
+    Abr(AbrLogic),
 }
 
 impl StrategyLogic {
@@ -133,6 +143,7 @@ impl StrategyLogic {
             StrategyLogic::Bulk(l) => &l.player,
             StrategyLogic::Range(l) => &l.player,
             StrategyLogic::Netflix(l) => &l.player,
+            StrategyLogic::Abr(l) => &l.player,
         }
     }
 
@@ -144,6 +155,7 @@ impl StrategyLogic {
             StrategyLogic::Bulk(l) => l.read_total,
             StrategyLogic::Range(l) => l.read_total,
             StrategyLogic::Netflix(l) => l.read_total,
+            StrategyLogic::Abr(l) => l.read_total,
         }
     }
 
@@ -156,6 +168,16 @@ impl StrategyLogic {
             StrategyLogic::Bulk(_) => 0,
             StrategyLogic::Range(l) => l.blocks,
             StrategyLogic::Netflix(l) => l.blocks,
+            StrategyLogic::Abr(l) => l.blocks,
+        }
+    }
+
+    /// Bitrate switches the strategy performed. Only the adaptive-bitrate
+    /// client ever switches; every 2011 Table 1 strategy reports zero.
+    pub fn switches(&self) -> u64 {
+        match self {
+            StrategyLogic::Abr(l) => l.switches,
+            _ => 0,
         }
     }
 
@@ -167,6 +189,7 @@ impl StrategyLogic {
             StrategyLogic::Bulk(l) => l.video(),
             StrategyLogic::Range(l) => l.video(),
             StrategyLogic::Netflix(l) => l.video(),
+            StrategyLogic::Abr(l) => l.video(),
         }
     }
 }
@@ -179,6 +202,7 @@ impl SessionLogic for StrategyLogic {
             StrategyLogic::Bulk(l) => l.on_start(eng),
             StrategyLogic::Range(l) => l.on_start(eng),
             StrategyLogic::Netflix(l) => l.on_start(eng),
+            StrategyLogic::Abr(l) => l.on_start(eng),
         }
     }
     fn on_established(&mut self, eng: &mut Engine, conn: usize) {
@@ -188,6 +212,7 @@ impl SessionLogic for StrategyLogic {
             StrategyLogic::Bulk(l) => l.on_established(eng, conn),
             StrategyLogic::Range(l) => l.on_established(eng, conn),
             StrategyLogic::Netflix(l) => l.on_established(eng, conn),
+            StrategyLogic::Abr(l) => l.on_established(eng, conn),
         }
     }
     fn on_data_available(&mut self, eng: &mut Engine, conn: usize) {
@@ -197,6 +222,7 @@ impl SessionLogic for StrategyLogic {
             StrategyLogic::Bulk(l) => l.on_data_available(eng, conn),
             StrategyLogic::Range(l) => l.on_data_available(eng, conn),
             StrategyLogic::Netflix(l) => l.on_data_available(eng, conn),
+            StrategyLogic::Abr(l) => l.on_data_available(eng, conn),
         }
     }
     fn on_eof(&mut self, eng: &mut Engine, conn: usize) {
@@ -206,6 +232,7 @@ impl SessionLogic for StrategyLogic {
             StrategyLogic::Bulk(l) => l.on_eof(eng, conn),
             StrategyLogic::Range(l) => l.on_eof(eng, conn),
             StrategyLogic::Netflix(l) => l.on_eof(eng, conn),
+            StrategyLogic::Abr(l) => l.on_eof(eng, conn),
         }
     }
     fn on_app_timer(&mut self, eng: &mut Engine, id: u32) {
@@ -215,6 +242,7 @@ impl SessionLogic for StrategyLogic {
             StrategyLogic::Bulk(l) => l.on_app_timer(eng, id),
             StrategyLogic::Range(l) => l.on_app_timer(eng, id),
             StrategyLogic::Netflix(l) => l.on_app_timer(eng, id),
+            StrategyLogic::Abr(l) => l.on_app_timer(eng, id),
         }
     }
 }
@@ -222,6 +250,11 @@ impl SessionLogic for StrategyLogic {
 /// Builds the session logic for a Table 1 cell, or `None` where the cell is
 /// not applicable (mobile applications do not play Flash).
 pub fn logic_for(client: Client, container: Container, video: Video) -> Option<StrategyLogic> {
+    // The DASH extension client exists only over HTML5 segments; giving it
+    // any Table 1 plugin container would silently alias a paper cell.
+    if client == Client::Dash && container != Container::Html5 {
+        return None;
+    }
     Some(match container {
         Container::Flash => {
             if client.is_mobile() {
@@ -251,6 +284,7 @@ pub fn logic_for(client: Client, container: Container, video: Video) -> Option<S
             Client::Android => {
                 StrategyLogic::ClientPull(ClientPullLogic::new(ClientPullConfig::android(), video))
             }
+            Client::Dash => StrategyLogic::Abr(AbrLogic::new(AbrConfig::default(), video)),
         },
         Container::Silverlight => {
             let cfg = match client {
@@ -267,6 +301,9 @@ pub fn logic_for(client: Client, container: Container, video: Video) -> Option<S
 /// applicable).
 pub fn table1_expected(client: Client, container: Container) -> Option<Strategy> {
     match (client, container) {
+        // The DASH extension client is not a Table 1 row: the paper has no
+        // ground truth for it.
+        (Client::Dash, _) => None,
         (c, Container::Flash) if !c.is_mobile() => Some(Strategy::ShortCycles),
         (c, Container::FlashHd) if !c.is_mobile() => Some(Strategy::NoOnOff),
         (_, Container::Flash | Container::FlashHd) => None,
@@ -376,6 +413,22 @@ mod tests {
         assert_eq!(logic.read_total(), 0);
         assert_eq!(logic.video().encoding_bps, 1_000_000);
         assert!(!logic.player().has_started());
+        assert_eq!(logic.switches(), 0);
+    }
+
+    #[test]
+    fn dash_client_is_html5_only_and_outside_table1() {
+        assert!(matches!(
+            logic_for(Client::Dash, Container::Html5, video()),
+            Some(StrategyLogic::Abr(_))
+        ));
+        for container in [Container::Flash, Container::FlashHd, Container::Silverlight] {
+            assert!(logic_for(Client::Dash, container, video()).is_none());
+            assert!(table1_expected(Client::Dash, container).is_none());
+        }
+        assert!(table1_expected(Client::Dash, Container::Html5).is_none());
+        // And Table 1 iteration never sees it.
+        assert!(!Client::ALL.contains(&Client::Dash));
     }
 
     #[test]

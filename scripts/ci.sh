@@ -14,6 +14,10 @@
 #      byte-identical to the batch rendering, and its metered ledger must
 #      show the streaming memory inversion — zero peak_trace_bytes with
 #      the cache off, nonzero peak_flowstate_bytes
+#   3e. ext-qoe determinism: the DASH/LRD load sweep (adaptive client plus
+#       seeded cross-traffic aggregate) byte-identical across --jobs 1/8 ×
+#       cache on/off × --streaming on/off — the newest figure gets the
+#       same invariant the Table 1 suite has, spelled out pairwise
 #   3c. trace neutrality: the same slice rendered with --trace-dir must
 #      leave figures, the QoE table, and the wall-off ledger byte-identical
 #      while producing dump files, and every emitted Chrome trace JSON must
@@ -66,6 +70,21 @@ target/release/repro fig2 fig4 --streaming --no-cache --csv "$obs_out/streaming-
 diff -r "$obs_out/plain" "$obs_out/streaming-nc"
 grep -q '"peak_trace_bytes":0[,}]' "$obs_out/streaming.metrics.json"
 grep -qE '"peak_flowstate_bytes":[1-9]' "$obs_out/streaming.metrics.json"
+
+echo "==> ext-qoe determinism: byte-identical across --jobs, cache, and --streaming"
+target/release/repro ext-qoe --jobs 1 --csv "$obs_out/extqoe-ref" > "$obs_out/extqoe-ref.txt"
+target/release/repro ext-qoe --jobs 8 --csv "$obs_out/extqoe-j8" > /dev/null
+target/release/repro ext-qoe --jobs 8 --no-cache --csv "$obs_out/extqoe-nc" > /dev/null
+target/release/repro ext-qoe --jobs 8 --streaming --csv "$obs_out/extqoe-st" > /dev/null
+target/release/repro ext-qoe --jobs 1 --streaming --no-cache --csv "$obs_out/extqoe-stnc" \
+    > /dev/null
+for variant in extqoe-j8 extqoe-nc extqoe-st extqoe-stnc; do
+    diff -r "$obs_out/extqoe-ref" "$obs_out/$variant"
+done
+# The sweep must produce both artifacts: the stall-ratio curve and the
+# switch-rate table.
+test -f "$obs_out/extqoe-ref/ext-qoe.csv"
+test -f "$obs_out/extqoe-ref/ext-qoe-switches.csv"
 
 echo "==> trace neutrality: --trace-dir must not change figures, QoE table, or ledger"
 VSTREAM_WALL=off target/release/repro fig2 fig4 --csv "$obs_out/tr-plain" \
